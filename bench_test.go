@@ -1,0 +1,195 @@
+// Benchmarks regenerating the paper's tables and figures (reduced sweeps;
+// use cmd/zlb-bench -full for paper scale). Each benchmark reports the
+// paper's metric through b.ReportMetric so `go test -bench=. -benchmem`
+// prints the reproduced series.
+package zlb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/bench"
+	"github.com/zeroloss/zlb/internal/payment"
+)
+
+// BenchmarkFig3Throughput reproduces Figure 3: decision throughput of
+// ZLB, Red Belly, Polygraph and HotStuff across committee sizes.
+func BenchmarkFig3Throughput(b *testing.B) {
+	for _, n := range []int{10, 30} {
+		for _, sys := range []bench.System{bench.SystemZLB, bench.SystemRedBelly, bench.SystemPolygraph, bench.SystemHotStuff} {
+			b.Run(fmt.Sprintf("%s/n=%d", sys, n), func(b *testing.B) {
+				var tps float64
+				for i := 0; i < b.N; i++ {
+					points, err := bench.RunFig3(bench.Fig3Config{
+						Ns: []int{n}, Instances: 2, Seed: 42, Systems: []bench.System{sys},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					tps = points[0].TxPerSec
+				}
+				b.ReportMetric(tps, "tx/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4TopBinaryAttack reproduces Figure 4 (top): disagreements
+// under the binary consensus attack.
+func BenchmarkFig4TopBinaryAttack(b *testing.B) {
+	benchmarkFig4(b, adversary.AttackBinary)
+}
+
+// BenchmarkFig4BottomRBCastAttack reproduces Figure 4 (bottom):
+// disagreements under the reliable broadcast attack.
+func BenchmarkFig4BottomRBCastAttack(b *testing.B) {
+	benchmarkFig4(b, adversary.AttackRBCast)
+}
+
+func benchmarkFig4(b *testing.B, attack adversary.Attack) {
+	d, err := bench.DelayByName("1000ms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{9, 18} {
+		b.Run(fmt.Sprintf("n=%d/1000ms", n), func(b *testing.B) {
+			var disagreements int
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunFig4(bench.Fig4Config{
+					Ns: []int{n}, Delays: []bench.DelaySpec{d}, Attack: attack,
+					Seed: 42, Instances: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				disagreements = points[0].Disagreements
+			}
+			b.ReportMetric(float64(disagreements), "disagreements")
+		})
+	}
+}
+
+// BenchmarkTable1Merge reproduces Table 1: local time to merge two blocks
+// with all transactions conflicting, per block size.
+func BenchmarkTable1Merge(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("txs=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ledger, _, remote, err := bench.BuildConflictingBlocks(size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if got := ledger.MergeBlock(remote); got != size {
+					b.Fatalf("merged %d of %d", got, size)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5MembershipChange reproduces Figure 5 (left panels): time
+// to detect ⌈n/3⌉ deceitful replicas, run the exclusion consensus and the
+// inclusion consensus.
+func BenchmarkFig5MembershipChange(b *testing.B) {
+	d, err := bench.DelayByName("1000ms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{9, 18} {
+		b.Run(fmt.Sprintf("n=%d/1000ms", n), func(b *testing.B) {
+			var detect, exclude, include float64
+			for i := 0; i < b.N; i++ {
+				points, err := bench.RunFig5([]int{n}, []bench.DelaySpec{d}, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				detect = points[0].DetectSec
+				exclude = points[0].ExcludeSec
+				include = points[0].IncludeSec
+			}
+			b.ReportMetric(detect, "detect-s")
+			b.ReportMetric(exclude, "exclude-s")
+			b.ReportMetric(include, "include-s")
+		})
+	}
+}
+
+// BenchmarkFig5Catchup reproduces Figure 5 (right): time for an included
+// replica to verify the shipped chain.
+func BenchmarkFig5Catchup(b *testing.B) {
+	b.Run("n=9/blocks=5", func(b *testing.B) {
+		var catchup float64
+		for i := 0; i < b.N; i++ {
+			points, err := bench.RunCatchup([]int{9}, []int{5}, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			catchup = points[0].CatchupSec
+		}
+		b.ReportMetric(catchup, "catchup-s")
+	})
+}
+
+// BenchmarkFig6MinBlockdepth reproduces Figure 6: the minimum
+// finalization blockdepth for zero loss derived from the measured attack
+// success probability.
+func BenchmarkFig6MinBlockdepth(b *testing.B) {
+	d, err := bench.DelayByName("1000ms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("n=9/1000ms/binary", func(b *testing.B) {
+		var depth float64
+		for i := 0; i < b.N; i++ {
+			points, err := bench.RunFig6([]int{9}, []bench.DelaySpec{d},
+				[]adversary.Attack{adversary.AttackBinary}, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			depth = float64(points[0].MinDepth)
+		}
+		b.ReportMetric(depth, "min-depth")
+	})
+}
+
+// BenchmarkAppendixBAnalysis reproduces the §B worked analysis (pure
+// math; also a performance check on the Theorem .5 solver).
+func BenchmarkAppendixBAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunAppendixB()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkCatastrophicDelays reproduces §5.3: disagreements under 5 s
+// and 10 s uniform partition delays.
+func BenchmarkCatastrophicDelays(b *testing.B) {
+	b.Run("n=18", func(b *testing.B) {
+		var total float64
+		for i := 0; i < b.N; i++ {
+			points, err := bench.Catastrophic(18, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = 0
+			for _, p := range points {
+				total += float64(p.Disagreements)
+			}
+		}
+		b.ReportMetric(total, "disagreements")
+	})
+}
+
+// BenchmarkMinDepthSolver measures the Theorem .5 solver itself.
+func BenchmarkMinDepthSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := payment.MinDepth(3, 0.1, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command zlb-bench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in the paper's layout. Without
+// flags it runs a reduced sweep of every experiment; use -experiment and
+// -full to control scope.
+//
+//	zlb-bench -experiment fig3 -full     # Figure 3 at paper scale (10..90)
+//	zlb-bench -experiment fig4top       # binary consensus attack sweep
+//	zlb-bench -experiment fig4bottom    # reliable broadcast attack sweep
+//	zlb-bench -experiment catastrophic  # §5.3 5s/10s delays
+//	zlb-bench -experiment table1        # block merge times
+//	zlb-bench -experiment fig5          # detect/exclude/include times
+//	zlb-bench -experiment catchup       # Fig. 5 right: catch-up times
+//	zlb-bench -experiment fig6          # minimum finalization blockdepth
+//	zlb-bench -experiment appendixB     # §B worked analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, all)")
+	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	start := time.Now()
+	if err := run(*experiment, *full, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "zlb-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%v elapsed]\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(experiment string, full bool, seed int64) error {
+	ns := []int{10, 20, 30}
+	nsAttack := []int{9, 18, 27}
+	delays := smallDelays()
+	if full {
+		ns = []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+		nsAttack = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		delays = bench.StandardDelays()
+	}
+
+	all := experiment == "all"
+	ran := false
+
+	if all || experiment == "fig3" {
+		ran = true
+		points, err := bench.RunFig3(bench.Fig3Config{Ns: ns, Instances: 3, Seed: seed})
+		if err != nil {
+			return err
+		}
+		bench.PrintFig3(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "fig4top" {
+		ran = true
+		points, err := bench.RunFig4(bench.Fig4Config{
+			Ns: nsAttack, Delays: delays, Attack: adversary.AttackBinary, Seed: seed, Instances: 4,
+		})
+		if err != nil {
+			return err
+		}
+		bench.PrintFig4(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "fig4bottom" {
+		ran = true
+		points, err := bench.RunFig4(bench.Fig4Config{
+			Ns: nsAttack, Delays: delays, Attack: adversary.AttackRBCast, Seed: seed, Instances: 4,
+		})
+		if err != nil {
+			return err
+		}
+		bench.PrintFig4(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "catastrophic" {
+		ran = true
+		n := 27
+		if full {
+			n = 100
+		}
+		points, err := bench.Catastrophic(n, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# §5.3: catastrophic partition delays, n=%d\n", n)
+		bench.PrintFig4(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "table1" {
+		ran = true
+		rows, err := bench.RunTable1([]int{100, 1000, 10000})
+		if err != nil {
+			return err
+		}
+		bench.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || experiment == "fig5" {
+		ran = true
+		ns5 := []int{9, 18}
+		if full {
+			ns5 = []int{20, 60, 100}
+		}
+		points, err := bench.RunFig5(ns5, delays, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig5(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "catchup" {
+		ran = true
+		nsCatch := []int{9, 18}
+		blocks := []int{5, 10}
+		if full {
+			nsCatch = []int{20, 40, 60, 80, 100}
+			blocks = []int{10, 20, 30}
+		}
+		points, err := bench.RunCatchup(nsCatch, blocks, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintCatchup(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "fig6" {
+		ran = true
+		d500, _ := bench.DelayByName("500ms")
+		d1000, _ := bench.DelayByName("1000ms")
+		nsFig6 := nsAttack
+		points, err := bench.RunFig6(nsFig6, []bench.DelaySpec{d500, d1000},
+			[]adversary.Attack{adversary.AttackBinary, adversary.AttackRBCast}, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig6(os.Stdout, points)
+		fmt.Println()
+	}
+	if all || experiment == "appendixB" {
+		ran = true
+		bench.PrintAppendixB(os.Stdout, bench.RunAppendixB())
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func smallDelays() []bench.DelaySpec {
+	var out []bench.DelaySpec
+	for _, name := range []string{"500ms", "1000ms", "gamma"} {
+		d, err := bench.DelayByName(name)
+		if err == nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}

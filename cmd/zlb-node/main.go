@@ -1,0 +1,232 @@
+// Command zlb-node runs one ZLB replica over real TCP. A committee of n
+// replicas is described by a shared seed (from which the demo PKI is
+// derived deterministically) and a peer list; clients submit signed
+// transactions with zlb-client.
+//
+// Start a local 4-replica cluster in four shells:
+//
+//	zlb-node -id 1 -n 4 -listen :7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004
+//	zlb-node -id 2 -n 4 -listen :7002 -peers ...
+//	zlb-node -id 3 -n 4 -listen :7003 -peers ...
+//	zlb-node -id 4 -n 4 -listen :7004 -peers ...
+//
+// The demo PKI derives every replica's key pair from -seed; production
+// deployments load per-replica keys instead.
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/asmr"
+	"github.com/zeroloss/zlb/internal/bm"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/transport"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "replica ID (1..n)")
+	n := flag.Int("n", 4, "committee size")
+	listen := flag.String("listen", "", "listen address, e.g. :7001")
+	peersFlag := flag.String("peers", "", "comma-separated peer addresses in ID order (1..n)")
+	seed := flag.Int64("seed", 1, "shared PKI seed (demo key derivation)")
+	flag.Parse()
+
+	if *id == 0 || *listen == "" || *peersFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs := strings.Split(*peersFlag, ",")
+	if len(addrs) != *n {
+		log.Fatalf("got %d peer addresses for n=%d", len(addrs), *n)
+	}
+
+	if err := run(types.ReplicaID(*id), *n, *listen, addrs, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64) error {
+	transport.RegisterWireTypes()
+
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeEd25519, n, seed)
+	if err != nil {
+		return fmt.Errorf("deriving demo PKI: %w", err)
+	}
+	members := make([]types.ReplicaID, n)
+	peers := make(map[types.ReplicaID]string, n)
+	for i := 0; i < n; i++ {
+		members[i] = types.ReplicaID(i + 1)
+		peers[types.ReplicaID(i+1)] = addrs[i]
+	}
+
+	node := transport.NewNode(transport.Config{Self: self, Listen: listen, Peers: peers})
+
+	// Payment application state.
+	txReg := crypto.NewRegistry(crypto.SchemeEd25519)
+	txScheme, err := crypto.NewScheme(crypto.SchemeEd25519, txReg)
+	if err != nil {
+		return err
+	}
+	ledger := bm.NewLedger(txScheme)
+	// Demo genesis: one faucet account derived from the shared seed.
+	faucetKP, err := txScheme.GenerateKey(crypto.NewDeterministicRand(seed ^ 0xFA0CE7))
+	if err != nil {
+		return err
+	}
+	faucet := utxo.AddressOf(faucetKP.Public())
+	ledger.Genesis(map[utxo.Address]types.Amount{faucet: 1_000_000_000})
+
+	var mempool []*utxo.Transaction
+	inPool := make(map[types.Digest]bool)
+
+	replica := asmr.NewReplica(asmr.Config{
+		Self:             self,
+		Signer:           signers[int(self)-1],
+		Env:              node,
+		InitialCommittee: members,
+		Accountable:      true,
+		Recover:          true,
+		WaitForWork:      true,
+		BatchSource: func(k uint64) asmr.Batch {
+			if len(mempool) == 0 {
+				return asmr.Batch{}
+			}
+			take := len(mempool)
+			if take > 2000 {
+				take = 2000
+			}
+			data, err := encodeTxs(mempool[:take])
+			if err != nil {
+				return asmr.Batch{}
+			}
+			return asmr.Batch{Payload: data, ClaimedSigs: take}
+		},
+		OnCommit: func(k uint64, _ uint32, d *sbc.Decision) {
+			block := blockFrom(k, d)
+			applied := ledger.CommitBlock(block)
+			mempool = pruneMempool(mempool, block)
+			log.Printf("block %d committed: %d txs applied, height %d, faucet=%d",
+				k, applied, ledger.Height(), ledger.Table().Balance(faucet))
+		},
+		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
+			block := blockFrom(k, remote)
+			merged := ledger.MergeBlock(block)
+			log.Printf("fork at block %d reconciled: %d txs merged", k, merged)
+		},
+		OnPoF: func(p accountability.PoF) {
+			log.Printf("proof of fraud against replica %v", p.Culprit)
+		},
+		OnMembershipChange: func(res *membership.Result) {
+			log.Printf("membership change: excluded %v, included %v", res.Excluded, res.Included)
+		},
+	})
+
+	handler := &appHandler{node: node, replica: replica, mempool: &mempool, inPool: inPool}
+	node.SetHandler(handler)
+
+	node.Do(func() { replica.Start() })
+	log.Printf("replica %v listening on %s (n=%d)", self, listen, n)
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		node.Close()
+	}()
+	return node.Serve()
+}
+
+// appHandler intercepts client SubmitTx requests and forwards everything
+// else to the replica.
+type appHandler struct {
+	node    *transport.Node
+	replica *asmr.Replica
+	mempool *[]*utxo.Transaction
+	inPool  map[types.Digest]bool
+}
+
+func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
+	if sub, ok := msg.(*transport.SubmitTx); ok {
+		if sub.Tx == nil {
+			return
+		}
+		id := sub.Tx.ID()
+		if !h.inPool[id] {
+			h.inPool[id] = true
+			*h.mempool = append(*h.mempool, sub.Tx)
+			h.replica.Kick()
+			log.Printf("tx %v enqueued (mempool %d)", id, len(*h.mempool))
+		}
+		return
+	}
+	h.replica.OnMessage(from, msg)
+}
+
+func (h *appHandler) OnTimer(payload any) { h.replica.OnTimer(payload) }
+
+// encodeTxs/decodeTxs serialize transaction batches as consensus
+// payloads.
+func encodeTxs(txs []*utxo.Transaction) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(txs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeTxs(payload []byte) ([]*utxo.Transaction, error) {
+	var txs []*utxo.Transaction
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&txs); err != nil {
+		return nil, err
+	}
+	return txs, nil
+}
+
+func blockFrom(k uint64, d *sbc.Decision) *bm.Block {
+	var txs []*utxo.Transaction
+	seen := make(map[types.Digest]bool)
+	for _, p := range d.OrderedProposals() {
+		batch, err := decodeTxs(p.Payload)
+		if err != nil {
+			continue
+		}
+		for _, tx := range batch {
+			id := tx.ID()
+			if !seen[id] {
+				seen[id] = true
+				txs = append(txs, tx)
+			}
+		}
+	}
+	return bm.NewBlock(k, txs)
+}
+
+func pruneMempool(pool []*utxo.Transaction, b *bm.Block) []*utxo.Transaction {
+	gone := make(map[types.Digest]bool, len(b.Txs))
+	for _, tx := range b.Txs {
+		gone[tx.ID()] = true
+	}
+	kept := pool[:0]
+	for _, tx := range pool {
+		if !gone[tx.ID()] {
+			kept = append(kept, tx)
+		}
+	}
+	return kept
+}

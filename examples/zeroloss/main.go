@@ -1,0 +1,66 @@
+// Command zeroloss is an interactive calculator for the paper's Appendix
+// B analysis: given a deceitful ratio δ, a deposit factor b (D = b·G) and
+// an attack success probability ρ, it reports the maximum branch count,
+// the expected gain and punishment of an attack, and the minimum
+// finalization blockdepth m that makes the payment system zero-loss
+// (Theorem .5). Run without flags to print the paper's worked examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/zeroloss/zlb/internal/payment"
+)
+
+func main() {
+	delta := flag.Float64("delta", -1, "deceitful ratio δ = d/n (0 ≤ δ < 2/3)")
+	b := flag.Float64("b", 0.1, "deposit factor b in D = b·G")
+	rho := flag.Float64("rho", 0.9, "per-block attack success probability ρ")
+	gain := flag.Float64("gain", 1_000_000, "per-block gain bound G (coins)")
+	flag.Parse()
+
+	if *delta < 0 {
+		printWorkedExamples(*b)
+		return
+	}
+
+	a := payment.MaxBranches(*delta)
+	if a == 0 {
+		fmt.Fprintf(os.Stderr, "δ=%.2f ≥ 2/3: the branch bound diverges; no zero-loss depth exists\n", *delta)
+		os.Exit(1)
+	}
+	m, err := payment.MinDepth(a, *b, *rho)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "no finite blockdepth achieves zero loss: %v\n", err)
+		os.Exit(1)
+	}
+	p := payment.Params{Branches: a, DepositFactor: *b, Rho: *rho, Depth: m}
+
+	fmt.Printf("deceitful ratio δ:           %.3f\n", *delta)
+	fmt.Printf("max fork branches a:         %d\n", a)
+	fmt.Printf("deposit factor b:            %.3f (D = %.0f coins)\n", *b, *b**gain)
+	fmt.Printf("attack success ρ:            %.3f per block\n", *rho)
+	fmt.Printf("minimum blockdepth m:        %d\n", m)
+	fmt.Printf("expected attacker gain:      %.1f coins per attempt\n", payment.ExpectedGain(p, *gain))
+	fmt.Printf("expected punishment:         %.1f coins per attempt\n", payment.ExpectedPunishment(p, *gain))
+	fmt.Printf("deposit flux Δ = 𝒫−𝒢:        %+.1f coins per attempt (≥ 0 ⇒ zero loss)\n", payment.DepositFlux(p, *gain))
+	fmt.Printf("tolerable ρ at this depth:   %.4f\n", payment.TolerableRho(a, *b, m))
+}
+
+func printWorkedExamples(b float64) {
+	fmt.Printf("Paper §B worked examples (D = G/%d):\n\n", int(1/b))
+	fmt.Printf("%8s %10s %8s %12s\n", "δ", "branches", "ρ", "min depth m")
+	for _, delta := range []float64{0.5, 0.55, 0.6, 0.64, 0.66} {
+		for _, rho := range []float64{0.55, 0.9} {
+			a := payment.MaxBranches(delta)
+			m, err := payment.MinDepth(a, b, rho)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%8.2f %10d %8.2f %12d\n", delta, a, rho, m)
+		}
+	}
+	fmt.Println("\n(Use -delta/-rho/-b/-gain for a custom analysis.)")
+}

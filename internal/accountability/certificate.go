@@ -1,0 +1,119 @@
+package accountability
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Certificate is a quorum of signed statements for one slot and one value:
+// the transferable justification Polygraph-style protocols attach to
+// decisions (paper §2.3, "sets of 2n/3 messages signed by distinct
+// replicas"). Two certificates for the same slot with different values
+// overlap in at least ⌈n/3⌉ signers, every one of which is a provable
+// equivocator — that intersection is exactly where membership-change PoFs
+// come from.
+type Certificate struct {
+	Stmt Statement // the statement every signature covers (value included)
+	Sigs []Signed  // distinct-signer signatures on Stmt
+}
+
+// Errors returned by certificate verification.
+var (
+	ErrCertMismatch  = errors.New("accountability: certificate signature covers a different statement")
+	ErrCertDuplicate = errors.New("accountability: duplicate signer in certificate")
+	ErrCertQuorum    = errors.New("accountability: certificate below quorum")
+	ErrCertSignature = errors.New("accountability: invalid signature in certificate")
+)
+
+// NewCertificate assembles a certificate from signed statements that must
+// all equal stmt.
+func NewCertificate(stmt Statement, sigs []Signed) (*Certificate, error) {
+	seen := types.NewReplicaSet()
+	for _, s := range sigs {
+		if s.Stmt != stmt {
+			return nil, fmt.Errorf("%w: %v vs %v", ErrCertMismatch, s.Stmt, stmt)
+		}
+		if !seen.Add(s.Signer) {
+			return nil, fmt.Errorf("%w: %v", ErrCertDuplicate, s.Signer)
+		}
+	}
+	out := make([]Signed, len(sigs))
+	copy(out, sigs)
+	return &Certificate{Stmt: stmt, Sigs: out}, nil
+}
+
+// Signers returns the distinct signers, sorted.
+func (c *Certificate) Signers() []types.ReplicaID {
+	set := types.NewReplicaSet()
+	for _, s := range c.Sigs {
+		set.Add(s.Signer)
+	}
+	return set.Sorted()
+}
+
+// SignerCount counts distinct signers that belong to the given committee
+// membership test; a nil test counts all distinct signers. The membership
+// test is how the exclusion consensus re-checks stored certificates
+// against its shrinking committee C′ (Alg. 1 lines 31-36).
+func (c *Certificate) SignerCount(member func(types.ReplicaID) bool) int {
+	set := types.NewReplicaSet()
+	for _, s := range c.Sigs {
+		if member == nil || member(s.Signer) {
+			set.Add(s.Signer)
+		}
+	}
+	return set.Len()
+}
+
+// Verify checks structure, distinctness, signatures and that the
+// certificate reaches the quorum for committee size n among members
+// accepted by the membership test (nil accepts all).
+func (c *Certificate) Verify(v *crypto.Signer, n int, member func(types.ReplicaID) bool) error {
+	seen := types.NewReplicaSet()
+	for _, s := range c.Sigs {
+		if s.Stmt != c.Stmt {
+			return ErrCertMismatch
+		}
+		if !seen.Add(s.Signer) {
+			return ErrCertDuplicate
+		}
+		if !s.Verify(v) {
+			return fmt.Errorf("%w: signer %v", ErrCertSignature, s.Signer)
+		}
+	}
+	if c.SignerCount(member) < types.Quorum(n) {
+		return fmt.Errorf("%w: %d of %d needed", ErrCertQuorum, c.SignerCount(member), types.Quorum(n))
+	}
+	return nil
+}
+
+// SigOps reports the number of signature verifications checking this
+// certificate costs; used by the simulator's CPU model.
+func (c *Certificate) SigOps() int { return len(c.Sigs) }
+
+// CrossCheck compares two certificates for the same equivocation slot but
+// different values and returns the PoFs for every replica that signed
+// both. This is the paper's core accountability step: after a
+// disagreement, the intersection of the two conflicting quorums is at
+// least ⌈n/3⌉ replicas, all provably deceitful.
+func CrossCheck(a, b *Certificate) []PoF {
+	if a.Stmt.Key() != b.Stmt.Key() || a.Stmt.Value == b.Stmt.Value {
+		return nil
+	}
+	bySigner := make(map[types.ReplicaID]Signed, len(a.Sigs))
+	for _, s := range a.Sigs {
+		bySigner[s.Signer] = s
+	}
+	var pofs []PoF
+	for _, s := range b.Sigs {
+		if other, ok := bySigner[s.Signer]; ok {
+			if pof, err := NewPoF(other, s); err == nil {
+				pofs = append(pofs, pof)
+			}
+		}
+	}
+	return pofs
+}

@@ -1,0 +1,139 @@
+package accountability
+
+import (
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Log is one replica's accountable message log. Every valid signed
+// statement the replica sees — directly from the network or inside a
+// certificate — is recorded here; when a second statement from the same
+// signer for the same slot with a different value shows up, the log emits
+// a proof of fraud. This is the replicas "cross-checking their
+// certificates" of paper §4.1 .
+//
+// Log is not safe for concurrent use; in the simulator each node owns one
+// and all its protocol components share it.
+type Log struct {
+	verifier *crypto.Signer
+	// first statement seen per (slot, signer)
+	seen map[SlotKey]map[types.ReplicaID]Signed
+	// pofs accumulated, one per culprit (the first found is kept)
+	pofs map[types.ReplicaID]PoF
+	// onPoF, if set, fires once per new culprit.
+	onPoF func(PoF)
+	// verified statements count, for metrics
+	Recorded int
+}
+
+// NewLog creates an empty log. verifier supplies signature verification;
+// onPoF (optional) observes each newly proven culprit exactly once.
+func NewLog(verifier *crypto.Signer, onPoF func(PoF)) *Log {
+	return &Log{
+		verifier: verifier,
+		seen:     make(map[SlotKey]map[types.ReplicaID]Signed),
+		pofs:     make(map[types.ReplicaID]PoF),
+		onPoF:    onPoF,
+	}
+}
+
+// Record ingests a signed statement whose signature has already been
+// verified by the caller (protocols verify on receipt; certificates are
+// verified wholesale). It returns a PoF if this statement completes one,
+// or nil.
+func (l *Log) Record(s Signed) *PoF {
+	l.Recorded++
+	key := s.Stmt.Key()
+	bySigner, ok := l.seen[key]
+	if !ok {
+		bySigner = make(map[types.ReplicaID]Signed)
+		l.seen[key] = bySigner
+	}
+	prev, dup := bySigner[s.Signer]
+	if !dup {
+		bySigner[s.Signer] = s
+		return nil
+	}
+	if prev.Stmt.Value == s.Stmt.Value {
+		return nil // same statement again; harmless
+	}
+	pof, err := NewPoF(prev, s)
+	if err != nil {
+		return nil
+	}
+	if _, known := l.pofs[pof.Culprit]; !known {
+		l.pofs[pof.Culprit] = pof
+		if l.onPoF != nil {
+			l.onPoF(pof)
+		}
+	}
+	return &pof
+}
+
+// RecordVerify verifies the signature first, then records. It returns
+// false when the signature is invalid.
+func (l *Log) RecordVerify(s Signed) bool {
+	if !s.Verify(l.verifier) {
+		return false
+	}
+	l.Record(s)
+	return true
+}
+
+// RecordCertificate ingests every signature of a certificate. The caller
+// is expected to have verified the certificate.
+func (l *Log) RecordCertificate(c *Certificate) {
+	for _, s := range c.Sigs {
+		l.Record(s)
+	}
+}
+
+// AddPoF ingests an externally received, already verified PoF (replicas
+// broadcast their new PoFs during membership changes, Alg. 1 line 26).
+// It reports whether the culprit was new.
+func (l *Log) AddPoF(p PoF) bool {
+	if _, known := l.pofs[p.Culprit]; known {
+		return false
+	}
+	l.pofs[p.Culprit] = p
+	if l.onPoF != nil {
+		l.onPoF(p)
+	}
+	return true
+}
+
+// Culprits returns the proven-deceitful replicas, sorted.
+func (l *Log) Culprits() []types.ReplicaID {
+	ids := make([]types.ReplicaID, 0, len(l.pofs))
+	for id := range l.pofs {
+		ids = append(ids, id)
+	}
+	return types.SortReplicas(ids)
+}
+
+// CulpritCount returns how many distinct replicas have been proven
+// deceitful.
+func (l *Log) CulpritCount() int { return len(l.pofs) }
+
+// PoFs returns the stored proofs in culprit order.
+func (l *Log) PoFs() []PoF {
+	out := make([]PoF, 0, len(l.pofs))
+	for _, id := range l.Culprits() {
+		out = append(out, l.pofs[id])
+	}
+	return out
+}
+
+// PoFFor returns the proof for a culprit, if any.
+func (l *Log) PoFFor(id types.ReplicaID) (PoF, bool) {
+	p, ok := l.pofs[id]
+	return p, ok
+}
+
+// Forget removes proofs for culprits that have been handled by a completed
+// membership change (Alg. 1 line 39 discards treated PoFs).
+func (l *Log) Forget(ids []types.ReplicaID) {
+	for _, id := range ids {
+		delete(l.pofs, id)
+	}
+}

@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+func members(n int) []types.ReplicaID {
+	out := make([]types.ReplicaID, n)
+	for i := range out {
+		out[i] = types.ReplicaID(i + 1)
+	}
+	return out
+}
+
+func TestMaxBranches(t *testing.T) {
+	cases := []struct {
+		n, d, want int
+	}{
+		{90, 49, 3}, // paper: 3 branches for d < 5n/9
+		{9, 4, 2},
+		{9, 6, 3}, // quorum(9)=6: coalition at quorum → honest count branches? d=6: den=0 → n−d=3
+		{10, 5, 2},
+		{100, 55, 3},
+		{9, 2, 1},
+	}
+	for _, c := range cases {
+		if got := MaxBranches(c.n, c.d); got != c.want {
+			t.Errorf("MaxBranches(%d, %d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCoalitionPartitioning(t *testing.T) {
+	c := NewCoalition(AttackBinary, members(9), 4, 2)
+	if len(c.Deceitful) != 4 {
+		t.Fatalf("deceitful = %v", c.Deceitful)
+	}
+	if c.Branches() != 2 {
+		t.Fatalf("branches = %d", c.Branches())
+	}
+	// Honest replicas all have a partition; deceitful are −1.
+	seen := map[int]int{}
+	for _, id := range members(9) {
+		p := c.PartitionOf(id)
+		if c.IsDeceitful(id) {
+			if p != -1 {
+				t.Fatalf("deceitful %v in partition %d", id, p)
+			}
+			continue
+		}
+		if p < 0 || p >= 2 {
+			t.Fatalf("honest %v in partition %d", id, p)
+		}
+		seen[p]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("unbalanced partitions: %v", seen)
+	}
+	// Unknown replicas (pool) are also −1 so they avoid partition delays.
+	if c.PartitionOf(types.ReplicaID(99)) != -1 {
+		t.Fatal("unknown replica assigned a partition")
+	}
+}
+
+func TestBranchesClampedToMax(t *testing.T) {
+	c := NewCoalition(AttackBinary, members(9), 4, 10)
+	if c.Branches() > MaxBranches(9, 4) {
+		t.Fatalf("branches %d exceed the conflicting-histories bound", c.Branches())
+	}
+}
+
+func TestSBCAdversaryOnlyForCoalition(t *testing.T) {
+	c := NewCoalition(AttackBinary, members(9), 4, 2)
+	if c.SBCAdversary(5) != nil {
+		t.Fatal("honest replica received attack wiring")
+	}
+	adv := c.SBCAdversary(1)
+	if adv == nil || adv.Bin == nil {
+		t.Fatal("deceitful replica missing attack wiring")
+	}
+	// Binary attack: RBC stays honest (nil), only votes split.
+	if adv.RBC != nil {
+		t.Fatal("binary attack must not fork proposals")
+	}
+	// Attacked slot equivocator splits per-recipient.
+	eq := adv.Bin(1)
+	if eq == nil || eq.AuxFor == nil {
+		t.Fatal("attacked slot has no vote script")
+	}
+	target := c.targetPart[1]
+	for _, id := range members(9) {
+		if c.IsDeceitful(id) {
+			continue
+		}
+		v, ok := eq.AuxFor(id, 0)
+		if !ok {
+			t.Fatalf("vote suppressed for %v", id)
+		}
+		if want := c.PartitionOf(id) == target; v != want {
+			t.Fatalf("vote for %v = %v, want %v", id, v, want)
+		}
+	}
+	// Honest slots: no vote script, but decide forwarding suppressed.
+	hq := adv.Bin(7)
+	if hq == nil || hq.AuxFor != nil || !hq.SuppressDecide {
+		t.Fatal("honest-slot wiring wrong")
+	}
+}
+
+func TestRBCastAdversaryWiring(t *testing.T) {
+	c := NewCoalition(AttackRBCast, members(9), 4, 2)
+	adv := c.SBCAdversary(2)
+	if adv == nil || adv.RBC == nil || adv.RBC.EchoDigestFor == nil {
+		t.Fatal("rbcast attack missing RBC equivocator")
+	}
+	if adv.RBCFor == nil || adv.RBCFor(1) == nil {
+		t.Fatal("fellow-coalition echo split missing")
+	}
+	if adv.RBCFor(5) != nil {
+		t.Fatal("honest slot got an echo split")
+	}
+	// Variant routing: digests registered per partition steer echoes.
+	c.RegisterVariant(types.Hash([]byte("vA")), 0)
+	c.RegisterVariant(types.Hash([]byte("vB")), 1)
+	seen := []types.Digest{types.Hash([]byte("vA")), types.Hash([]byte("vB"))}
+	for _, id := range members(9) {
+		if c.IsDeceitful(id) {
+			continue
+		}
+		d, ok := c.echoForPartition(id, seen)
+		if !ok {
+			t.Fatalf("echo suppressed for honest %v", id)
+		}
+		if want := seen[c.PartitionOf(id)]; d != want {
+			t.Fatalf("echo for %v routed wrong variant", id)
+		}
+	}
+	// Unregistered digests (honest slots) are echoed honestly.
+	other := []types.Digest{types.Hash([]byte("honest-proposal"))}
+	if d, ok := c.echoForPartition(5, other); !ok || d != other[0] {
+		t.Fatal("honest digest not echoed")
+	}
+}
+
+func TestVariantPayloadRegistersDigest(t *testing.T) {
+	c := NewCoalition(AttackRBCast, members(9), 4, 2)
+	base := []byte("base-payload")
+	v0 := c.VariantPayload(base, 0)
+	v1 := c.VariantPayload(base, 1)
+	if types.Hash(v0) == types.Hash(v1) {
+		t.Fatal("variants collide")
+	}
+	if p, ok := c.digestPartition[types.Hash(v0)]; !ok || p != 0 {
+		t.Fatal("variant 0 not registered")
+	}
+	if p, ok := c.digestPartition[types.Hash(v1)]; !ok || p != 1 {
+		t.Fatal("variant 1 not registered")
+	}
+}
+
+func TestAttackString(t *testing.T) {
+	for _, a := range []Attack{AttackNone, AttackBinary, AttackRBCast} {
+		if a.String() == "" {
+			t.Fatalf("attack %d unnamed", a)
+		}
+	}
+}
+
+func TestNoAttackNoAdversary(t *testing.T) {
+	c := NewCoalition(AttackNone, members(9), 4, 2)
+	if c.SBCAdversary(1) != nil {
+		t.Fatal("AttackNone produced attack wiring")
+	}
+}

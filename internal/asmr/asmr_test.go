@@ -1,0 +1,239 @@
+package asmr
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/bincon"
+	"github.com/zeroloss/zlb/internal/committee"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+func TestWireInstancePacking(t *testing.T) {
+	for _, c := range []struct {
+		k       uint64
+		attempt uint32
+	}{{1, 0}, {1, 1}, {77, 1023}, {1 << 40, 5}} {
+		wi := WireInstance(c.k, c.attempt)
+		k, a := SplitInstance(wi)
+		if k != c.k || a != c.attempt {
+			t.Fatalf("pack(%d,%d) → (%d,%d)", c.k, c.attempt, k, a)
+		}
+	}
+}
+
+// decideInstance runs a small SBC committee to produce a real certified
+// decision for verification tests.
+func decideInstance(t *testing.T, n int) (*sbc.Decision, []*crypto.Signer) {
+	t.Helper()
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]types.ReplicaID, n)
+	for i := range members {
+		members[i] = types.ReplicaID(i + 1)
+	}
+	net := simnet.New(simnet.Config{Latency: latency.Uniform(time.Millisecond, 8*time.Millisecond), Seed: 21})
+	decisions := map[types.ReplicaID]*sbc.Decision{}
+	instances := map[types.ReplicaID]*sbc.Instance{}
+	for i, id := range members {
+		id := id
+		signer := signers[i]
+		net.AddNode(id, func(env simnet.Env) simnet.Handler {
+			log := accountability.NewLog(signer, nil)
+			inst := sbc.New(sbc.Config{
+				Context:     accountability.CtxMain,
+				Instance:    WireInstance(1, 0),
+				Self:        id,
+				View:        committee.NewView(members),
+				Signer:      signer,
+				Log:         log,
+				Env:         env,
+				Accountable: true,
+				OnDecide:    func(d *sbc.Decision) { decisions[id] = d },
+			})
+			instances[id] = inst
+			return sbcHandler{inst}
+		})
+	}
+	for _, id := range members {
+		instances[id].Propose([]byte("payload-"+id.String()), 0, 0)
+	}
+	net.RunUntilQuiet(time.Minute)
+	d := decisions[members[0]]
+	if d == nil {
+		t.Fatal("no decision produced")
+	}
+	return d, signers
+}
+
+type sbcHandler struct{ inst *sbc.Instance }
+
+func (h sbcHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
+	h.inst.OnMessage(from, msg)
+}
+
+func (h sbcHandler) OnTimer(payload any) {
+	if p, ok := payload.(bincon.TimerPayload); ok {
+		h.inst.OnTimer(p)
+	}
+}
+
+func TestVerifyDecisionAcceptsRealDecision(t *testing.T) {
+	d, signers := decideInstance(t, 7)
+	if err := VerifyDecision(signers[0], d, 7); err != nil {
+		t.Fatalf("real decision rejected: %v", err)
+	}
+}
+
+func TestVerifyDecisionRejectsTampering(t *testing.T) {
+	d, signers := decideInstance(t, 7)
+
+	t.Run("missing decision", func(t *testing.T) {
+		if err := VerifyDecision(signers[0], nil, 7); err == nil {
+			t.Fatal("nil decision accepted")
+		}
+	})
+
+	t.Run("flipped bit", func(t *testing.T) {
+		tampered := *d
+		tampered.Bits = map[types.ReplicaID]bool{}
+		for id, b := range d.Bits {
+			tampered.Bits[id] = b
+		}
+		for id, b := range tampered.Bits {
+			if b {
+				tampered.Bits[id] = false // cert says 1, bits say 0
+				break
+			}
+		}
+		if err := VerifyDecision(signers[0], &tampered, 7); err == nil {
+			t.Fatal("flipped bit accepted")
+		}
+	})
+
+	t.Run("tampered payload", func(t *testing.T) {
+		tampered := *d
+		tampered.Proposals = map[types.ReplicaID]sbc.ProposalInfo{}
+		for id, p := range d.Proposals {
+			tampered.Proposals[id] = p
+		}
+		for id, p := range tampered.Proposals {
+			p.Payload = []byte("evil")
+			tampered.Proposals[id] = p
+			break
+		}
+		if err := VerifyDecision(signers[0], &tampered, 7); err == nil {
+			t.Fatal("tampered payload accepted")
+		}
+	})
+
+	t.Run("stripped certificate", func(t *testing.T) {
+		tampered := *d
+		tampered.BinCerts = map[types.ReplicaID]*accountability.Certificate{}
+		if err := VerifyDecision(signers[0], &tampered, 7); err == nil {
+			t.Fatal("certificate-less decision accepted")
+		}
+	})
+}
+
+func TestAbsorbDecisionFeedsLog(t *testing.T) {
+	d, signers := decideInstance(t, 7)
+	log := accountability.NewLog(signers[0], nil)
+	before := log.Recorded
+	AbsorbDecision(log, d)
+	if log.Recorded == before {
+		t.Fatal("absorb recorded nothing")
+	}
+	// Absorbing consistent evidence must not accuse anyone.
+	if log.CulpritCount() != 0 {
+		t.Fatalf("honest decision produced %d culprits", log.CulpritCount())
+	}
+}
+
+func TestReplicaAccessors(t *testing.T) {
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Config{Latency: latency.Fixed(time.Millisecond), Seed: 31})
+	var r *Replica
+	net.AddNode(1, func(env simnet.Env) simnet.Handler {
+		r = NewReplica(Config{
+			Self:             1,
+			Signer:           signers[0],
+			Env:              env,
+			InitialCommittee: []types.ReplicaID{1, 2, 3, 4},
+			Accountable:      true,
+			Recover:          true,
+		})
+		return r
+	})
+	if !r.IsMember() || r.Epoch() != 0 || r.CommittedCount() != 0 {
+		t.Fatal("fresh replica state wrong")
+	}
+	if _, ok := r.Committed(1); ok {
+		t.Fatal("phantom commit")
+	}
+	if r.Final(1) || r.Disagreed(1) {
+		t.Fatal("phantom finality")
+	}
+	if r.View().Size() != 4 {
+		t.Fatal("view size")
+	}
+	// A pool node is not a member and must refuse to start.
+	var pool *Replica
+	net.AddNode(9, func(env simnet.Env) simnet.Handler {
+		pool = NewReplica(Config{
+			Self:             9,
+			Signer:           signers[0],
+			Env:              env,
+			InitialCommittee: []types.ReplicaID{1, 2, 3, 4},
+			Accountable:      true,
+		})
+		return pool
+	})
+	pool.Start()
+	if pool.IsMember() {
+		t.Fatal("pool node claims membership")
+	}
+}
+
+func TestRebindChains(t *testing.T) {
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, 4, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Config{Latency: latency.Fixed(time.Millisecond), Seed: 33})
+	calls := []string{}
+	var r *Replica
+	net.AddNode(1, func(env simnet.Env) simnet.Handler {
+		r = NewReplica(Config{
+			Self:             1,
+			Signer:           signers[0],
+			Env:              env,
+			InitialCommittee: []types.ReplicaID{1, 2, 3, 4},
+			OnCommit: func(uint64, uint32, *sbc.Decision) {
+				calls = append(calls, "original")
+			},
+		})
+		return r
+	})
+	r.Rebind(AppBindings{
+		OnCommit: func(uint64, uint32, *sbc.Decision) {
+			calls = append(calls, "rebound")
+		},
+	})
+	// Simulate a decision through the internal path.
+	st := r.ensureInstance(1)
+	r.onDecide(st, &sbc.Decision{Instance: WireInstance(1, 0), Bits: map[types.ReplicaID]bool{}})
+	if len(calls) != 2 || calls[0] != "original" || calls[1] != "rebound" {
+		t.Fatalf("rebind chain = %v", calls)
+	}
+}

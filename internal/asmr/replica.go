@@ -1,0 +1,942 @@
+// Package asmr implements ZLB's Accountable State Machine Replication
+// (paper §4.1): an infinite sequence of Set Byzantine Consensus instances
+// Γ1, Γ2, …, each followed by the optional phases of Fig. 2 — ②
+// confirmation (broadcast the decision digest, detect conflicting
+// certified decisions), ③ exclusion consensus and ④ inclusion consensus
+// (the membership change of Alg. 1, triggered once proofs of fraud cover
+// fd = ⌈n/3⌉ replicas), and ⑤ reconciliation (merging the branches of the
+// fork, delegated to the Blockchain Manager through the OnDisagreement
+// callback).
+//
+// A replica is an event-driven state machine run by internal/simnet or by
+// the TCP transport; all its protocol sub-instances share one
+// accountability log, so evidence found anywhere (a vote, a certificate,
+// a catch-up block) counts everywhere.
+package asmr
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/bincon"
+	"github.com/zeroloss/zlb/internal/committee"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Batch is one proposal payload for a consensus instance, with the
+// modeled size/verification metadata used by the simulator's cost model.
+type Batch struct {
+	Payload      []byte
+	ClaimedBytes int
+	ClaimedSigs  int
+}
+
+// Config parameterizes one ASMR replica.
+type Config struct {
+	Self   types.ReplicaID
+	Signer *crypto.Signer
+	Env    simnet.Env
+	// InitialCommittee is the committee of epoch 0.
+	InitialCommittee []types.ReplicaID
+	// PoolCandidates are the replicas available for inclusion (§3.2).
+	PoolCandidates []types.ReplicaID
+	// Accountable enables signatures and certificates. Disabled, the
+	// replica is the Red Belly baseline: fast, no detection, no recovery.
+	Accountable bool
+	// Recover enables the membership change + reconciliation (ZLB). With
+	// Accountable=true and Recover=false the replica is the Polygraph
+	// baseline: detects fraud but cannot heal.
+	Recover bool
+	// DeceitfulBound is δ̂, the assumed bound on the deceitful ratio; the
+	// confirmation phase waits for more than (δ̂+1/3)·n matching
+	// confirmations (§4.1 ②). Default 5/9.
+	DeceitfulBound float64
+	// CoordTimeout tunes the binary consensus coordinator wait.
+	CoordTimeout func(round types.Round) time.Duration
+	// BatchSource supplies this replica's proposal for instance k.
+	BatchSource func(k uint64) Batch
+	// WaitForWork makes the replica defer starting an instance until
+	// BatchSource returns a non-empty batch (paper Fig. 2: "if there are
+	// enqueued requests that wait to be served, then a replica starts a
+	// new instance"). Kick retries after new work arrives.
+	WaitForWork bool
+	// MaxInstances stops starting new instances after this many (0 = no
+	// limit); experiments use it to bound runs.
+	MaxInstances uint64
+	// Adversary, when set, makes this replica deceitful in main-chain
+	// instances (coalition attacks).
+	Adversary *sbc.Adversary
+	// AttackFromInstance delays the attack: instances below it run
+	// honestly even on deceitful replicas (0 = attack from the start).
+	// Experiments use it to build a clean chain before forking it.
+	AttackFromInstance uint64
+	// Deceitful marks this replica as a coalition member: it suppresses
+	// every channel that would incriminate the coalition (confirmation
+	// broadcasts, PoF gossip, membership changes, block evidence service).
+	Deceitful bool
+
+	// OnCommit fires when instance k decides (phase ①).
+	OnCommit func(k uint64, attempt uint32, d *sbc.Decision)
+	// OnSlotDecide observes per-slot binary decisions (Fig. 4's
+	// disagreeing-proposals metric is counted at this granularity).
+	OnSlotDecide func(k uint64, attempt uint32, slot types.ReplicaID, value bool, digest types.Digest)
+	// OnFinal fires when instance k gathers enough confirmations (②).
+	OnFinal func(k uint64, digest types.Digest)
+	// OnDisagreement fires when a certified conflicting decision for
+	// instance k is obtained; the Blockchain Manager merges it (⑤).
+	OnDisagreement func(k uint64, local, remote *sbc.Decision)
+	// OnPoF fires once per newly proven deceitful replica.
+	OnPoF func(accountability.PoF)
+	// OnMembershipChange fires when a membership change completes (③+④).
+	OnMembershipChange func(*membership.Result)
+	// OnJoined fires on a pool node when it has verified a JoinNotice and
+	// become a committee member.
+	OnJoined func(epoch uint64, committee []types.ReplicaID)
+}
+
+type instState struct {
+	k        uint64
+	attempt  uint32
+	inst     *sbc.Instance
+	proposed bool
+	stopped  bool
+	decided  bool
+	decision *sbc.Decision
+	digest   types.Digest
+	// confirmation phase
+	confirms     map[types.ReplicaID]types.Digest
+	final        bool
+	disagreement bool
+	remoteSeen   map[types.Digest]bool
+	reqSent      map[types.ReplicaID]bool
+}
+
+// Replica is one ASMR replica.
+type Replica struct {
+	cfg  Config
+	view *committee.View
+	pool *committee.Pool
+	log  *accountability.Log
+
+	member  bool // are we currently in the committee?
+	epoch   uint64
+	change  *membership.Change
+	changes []*membership.Result
+
+	instances map[uint64]*instState // by logical k
+	nextK     uint64
+	started   bool
+
+	// committed decisions by k (first decision wins locally; conflicting
+	// certified decisions surface through OnDisagreement)
+	committed map[uint64]*sbc.Decision
+
+	// detection metrics (for the experiment harness)
+	FirstPoFAt    time.Duration
+	ThresholdAt   time.Duration
+	thresholdSeen bool
+
+	// deferred PoF gossip assembled during the current event
+	outPoFs []accountability.PoF
+
+	// pending buffers consensus messages that cannot be routed yet: a
+	// membership change a peer already started, an instance attempt we
+	// have not restarted into, or an epoch ahead of ours. Replayed on
+	// every state transition that could make them routable.
+	pending []bufferedMsg
+}
+
+type bufferedMsg struct {
+	from types.ReplicaID
+	msg  simnet.Message
+}
+
+// maxPending bounds the replay buffer; beyond it the oldest messages are
+// dropped (protocols recover via decision propagation and catch-up).
+const maxPending = 1 << 17
+
+// AppBindings are the application-facing callbacks a replica can be
+// rebound to after construction: the public zlb package layers the
+// payment application on top of replicas built by the experiment harness.
+// Nil fields keep the existing binding.
+type AppBindings struct {
+	BatchSource        func(k uint64) Batch
+	OnCommit           func(k uint64, attempt uint32, d *sbc.Decision)
+	OnFinal            func(k uint64, digest types.Digest)
+	OnDisagreement     func(k uint64, local, remote *sbc.Decision)
+	OnPoF              func(accountability.PoF)
+	OnMembershipChange func(*membership.Result)
+}
+
+// Rebind replaces the application callbacks. It must be called before
+// Start; later calls risk missing events already delivered.
+func (r *Replica) Rebind(b AppBindings) {
+	if b.BatchSource != nil {
+		r.cfg.BatchSource = b.BatchSource
+	}
+	if b.OnCommit != nil {
+		prev := r.cfg.OnCommit
+		next := b.OnCommit
+		r.cfg.OnCommit = func(k uint64, attempt uint32, d *sbc.Decision) {
+			if prev != nil {
+				prev(k, attempt, d)
+			}
+			next(k, attempt, d)
+		}
+	}
+	if b.OnFinal != nil {
+		r.cfg.OnFinal = b.OnFinal
+	}
+	if b.OnDisagreement != nil {
+		r.cfg.OnDisagreement = b.OnDisagreement
+	}
+	if b.OnPoF != nil {
+		prev := r.cfg.OnPoF
+		next := b.OnPoF
+		r.cfg.OnPoF = func(p accountability.PoF) {
+			if prev != nil {
+				prev(p)
+			}
+			next(p)
+		}
+	}
+	if b.OnMembershipChange != nil {
+		prev := r.cfg.OnMembershipChange
+		next := b.OnMembershipChange
+		r.cfg.OnMembershipChange = func(res *membership.Result) {
+			if prev != nil {
+				prev(res)
+			}
+			next(res)
+		}
+	}
+}
+
+// NewReplica builds a replica. Call Start to begin proposing; pool nodes
+// skip Start and wait for a JoinNotice.
+func NewReplica(cfg Config) *Replica {
+	if cfg.DeceitfulBound == 0 {
+		cfg.DeceitfulBound = 5.0 / 9.0
+	}
+	r := &Replica{
+		cfg:       cfg,
+		view:      committee.NewView(cfg.InitialCommittee),
+		pool:      committee.NewPool(cfg.PoolCandidates),
+		instances: make(map[uint64]*instState),
+		committed: make(map[uint64]*sbc.Decision),
+		nextK:     1,
+	}
+	for _, id := range cfg.InitialCommittee {
+		if id == cfg.Self {
+			r.member = true
+		}
+	}
+	r.log = accountability.NewLog(cfg.Signer, func(p accountability.PoF) { r.onPoF(p) })
+	return r
+}
+
+// View exposes the current committee view (read-only use).
+func (r *Replica) View() *committee.View { return r.view }
+
+// Log exposes the accountability log (read-only use).
+func (r *Replica) Log() *accountability.Log { return r.log }
+
+// Epoch returns the number of completed membership changes.
+func (r *Replica) Epoch() uint64 { return r.epoch }
+
+// Changes returns the completed membership change results.
+func (r *Replica) Changes() []*membership.Result { return r.changes }
+
+// ActiveChange returns the current membership change, if any (diagnostics).
+func (r *Replica) ActiveChange() *membership.Change { return r.change }
+
+// DebugSlot returns bincon diagnostics for (k, slot).
+func (r *Replica) DebugSlot(k uint64, slot types.ReplicaID) string {
+	if st, ok := r.instances[k]; ok {
+		return st.inst.DebugSlot(slot)
+	}
+	return "no instance"
+}
+
+// InstanceProgress reports instance k's attempt and SBC progress
+// (diagnostics).
+func (r *Replica) InstanceProgress(k uint64) (attempt uint32, delivered, decided, total int, undecided []types.ReplicaID, stopped bool) {
+	st, ok := r.instances[k]
+	if !ok {
+		return 0, 0, 0, 0, nil, false
+	}
+	delivered, decided, total = st.inst.Progress()
+	return st.attempt, delivered, decided, total, st.inst.UndecidedSlots(), st.stopped
+}
+
+// PendingBuffered returns how many consensus messages await routing
+// (diagnostics).
+func (r *Replica) PendingBuffered() int { return len(r.pending) }
+
+// Committed returns the locally committed decision for k, if any.
+func (r *Replica) Committed(k uint64) (*sbc.Decision, bool) {
+	d, ok := r.committed[k]
+	return d, ok
+}
+
+// CommittedCount returns how many instances have decided locally.
+func (r *Replica) CommittedCount() int { return len(r.committed) }
+
+// IsMember reports whether the replica currently sits on the committee.
+func (r *Replica) IsMember() bool { return r.member }
+
+// Final reports whether instance k reached confirmation finality.
+func (r *Replica) Final(k uint64) bool {
+	st, ok := r.instances[k]
+	return ok && st.final
+}
+
+// Disagreed reports whether a certified conflicting decision was seen for
+// instance k.
+func (r *Replica) Disagreed(k uint64) bool {
+	st, ok := r.instances[k]
+	return ok && st.disagreement
+}
+
+// Start begins the main chain: the replica proposes for instance 1.
+func (r *Replica) Start() {
+	if r.started || !r.member {
+		return
+	}
+	r.started = true
+	r.startInstance(r.nextK)
+}
+
+// confirmThreshold is the number of matching confirmations finality needs:
+// more than (δ̂ + 1/3)·n.
+func (r *Replica) confirmThreshold() int {
+	n := float64(r.view.Size())
+	th := int((r.cfg.DeceitfulBound+1.0/3.0)*n) + 1
+	if th > r.view.Size() {
+		th = r.view.Size()
+	}
+	return th
+}
+
+func (r *Replica) startInstance(k uint64) {
+	if !r.member {
+		return
+	}
+	if r.cfg.MaxInstances > 0 && k > r.cfg.MaxInstances {
+		return
+	}
+	st := r.ensureInstance(k)
+	if st.proposed || st.stopped {
+		return
+	}
+	batch := Batch{Payload: []byte(fmt.Sprintf("empty-%d-%v", k, r.cfg.Self))}
+	if r.cfg.BatchSource != nil {
+		batch = r.cfg.BatchSource(k)
+	}
+	if r.cfg.WaitForWork && len(batch.Payload) == 0 && batch.ClaimedSigs == 0 {
+		return // no enqueued requests; Kick retries when work arrives
+	}
+	st.proposed = true
+	st.inst.Propose(batch.Payload, batch.ClaimedBytes, batch.ClaimedSigs)
+}
+
+// Kick retries starting the next instance after new work arrived (used
+// with WaitForWork). Safe to call between simulation events.
+func (r *Replica) Kick() {
+	if r.started && r.member {
+		r.startInstance(r.nextK)
+	}
+}
+
+// ensureInstance creates (or returns) the state for logical instance k at
+// the current attempt.
+func (r *Replica) ensureInstance(k uint64) *instState {
+	if st, ok := r.instances[k]; ok {
+		return st
+	}
+	st := &instState{
+		k:          k,
+		attempt:    uint32(r.epoch), // attempt tracks the membership epoch
+		confirms:   make(map[types.ReplicaID]types.Digest),
+		remoteSeen: make(map[types.Digest]bool),
+		reqSent:    make(map[types.ReplicaID]bool),
+	}
+	st.inst = r.buildSBC(k, st)
+	r.instances[k] = st
+	return st
+}
+
+func (r *Replica) buildSBC(k uint64, st *instState) *sbc.Instance {
+	adv := r.cfg.Adversary
+	if k < r.cfg.AttackFromInstance {
+		adv = nil
+	}
+	return sbc.New(sbc.Config{
+		Context:      accountability.CtxMain,
+		Instance:     WireInstance(k, st.attempt),
+		Self:         r.cfg.Self,
+		View:         r.view,
+		Signer:       r.cfg.Signer,
+		Log:          r.logIfAccountable(),
+		Env:          r.cfg.Env,
+		Accountable:  r.cfg.Accountable,
+		CoordTimeout: r.cfg.CoordTimeout,
+		Adversary:    adv,
+		OnSlotDecide: func(slot types.ReplicaID, value bool, digest types.Digest) {
+			if r.cfg.OnSlotDecide != nil {
+				r.cfg.OnSlotDecide(st.k, st.attempt, slot, value, digest)
+			}
+		},
+		OnDecide: func(d *sbc.Decision) { r.onDecide(st, d) },
+	})
+}
+
+func (r *Replica) logIfAccountable() *accountability.Log {
+	if !r.cfg.Accountable {
+		return nil
+	}
+	return r.log
+}
+
+// onDecide is phase ① completing for instance k.
+func (r *Replica) onDecide(st *instState, d *sbc.Decision) {
+	if st.decided || st.stopped {
+		return
+	}
+	st.decided = true
+	st.decision = d
+	st.digest = d.Digest()
+	r.committed[st.k] = d
+	if r.cfg.OnCommit != nil {
+		r.cfg.OnCommit(st.k, st.attempt, d)
+	}
+
+	// Phase ②: broadcast our confirmation. A deceitful replica stays
+	// silent: a signed conflicting confirmation would be evidence.
+	if r.cfg.Accountable && !r.cfg.Deceitful {
+		stmt := accountability.Statement{
+			Context:  accountability.CtxMain,
+			Kind:     accountability.KindConfirm,
+			Instance: WireInstance(st.k, st.attempt),
+			Value:    st.digest,
+		}
+		signed, err := accountability.SignStatement(r.cfg.Signer, stmt)
+		if err == nil {
+			r.log.Record(signed)
+			msg := &Confirm{K: st.k, Attempt: st.attempt, Digest: st.digest, Stmt: signed}
+			for _, m := range r.view.Members() {
+				if m != r.cfg.Self {
+					r.cfg.Env.Send(m, msg)
+				}
+			}
+		}
+		st.confirms[r.cfg.Self] = st.digest
+		r.checkConfirmation(st)
+		// Compare buffered confirmations received before we decided.
+		for from, dig := range st.confirms {
+			if dig != st.digest {
+				r.requestBlock(st, from)
+			}
+		}
+	}
+
+	// Pipeline: start the next instance (Γk+1 runs concurrently with the
+	// confirmation of Γk).
+	if st.k >= r.nextK {
+		r.nextK = st.k + 1
+		r.startInstance(r.nextK)
+	}
+	r.flushPoFs()
+}
+
+// checkConfirmation evaluates the finality threshold.
+func (r *Replica) checkConfirmation(st *instState) {
+	if st.final || !st.decided {
+		return
+	}
+	matching := 0
+	for _, dig := range st.confirms {
+		if dig == st.digest {
+			matching++
+		}
+	}
+	if matching >= r.confirmThreshold() {
+		st.final = true
+		if r.cfg.OnFinal != nil {
+			r.cfg.OnFinal(st.k, st.digest)
+		}
+	}
+}
+
+// onConfirm handles a confirmation message (phase ②).
+func (r *Replica) onConfirm(from types.ReplicaID, m *Confirm) {
+	if !r.cfg.Accountable {
+		return
+	}
+	wi := WireInstance(m.K, m.Attempt)
+	s := m.Stmt
+	if s.Signer != from || s.Stmt.Kind != accountability.KindConfirm ||
+		s.Stmt.Context != accountability.CtxMain || s.Stmt.Instance != wi ||
+		s.Stmt.Value != m.Digest {
+		return
+	}
+	if !s.Verify(r.cfg.Signer) {
+		return
+	}
+	r.log.Record(s) // conflicting confirms by one replica → PoF
+	st := r.ensureInstance(m.K)
+	if prev, seen := st.confirms[from]; seen && prev == m.Digest {
+		return
+	}
+	st.confirms[from] = m.Digest
+	if st.decided {
+		if m.Digest != st.digest {
+			r.requestBlock(st, from)
+		} else {
+			r.checkConfirmation(st)
+		}
+	}
+	r.flushPoFs()
+}
+
+// requestBlock pulls the conflicting branch's block (evidence + content).
+func (r *Replica) requestBlock(st *instState, from types.ReplicaID) {
+	if st.reqSent[from] {
+		return
+	}
+	st.reqSent[from] = true
+	r.cfg.Env.Send(from, &BlockReq{K: st.k, Attempt: st.attempt})
+}
+
+func (r *Replica) onBlockReq(from types.ReplicaID, m *BlockReq) {
+	if r.cfg.Deceitful {
+		return
+	}
+	st, ok := r.instances[m.K]
+	if !ok || !st.decided {
+		return
+	}
+	r.cfg.Env.Send(from, &BlockResp{K: m.K, Attempt: st.attempt, Decision: st.decision})
+}
+
+// onBlockResp audits a conflicting block: verify its certificates, absorb
+// them into the log (creating PoFs), and hand the branch to the
+// reconciliation callback (phase ⑤).
+func (r *Replica) onBlockResp(_ types.ReplicaID, m *BlockResp) {
+	if m.Decision == nil || !r.cfg.Accountable {
+		return
+	}
+	st := r.ensureInstance(m.K)
+	dig := m.Decision.Digest()
+	if st.decided && dig == st.digest {
+		return // same branch after all
+	}
+	if st.remoteSeen[dig] {
+		return
+	}
+	if err := VerifyDecision(r.cfg.Signer, m.Decision, r.view.Size()); err != nil {
+		return
+	}
+	st.remoteSeen[dig] = true
+	st.disagreement = true
+	AbsorbDecision(r.log, m.Decision)
+	if st.decided && r.cfg.OnDisagreement != nil {
+		r.cfg.OnDisagreement(st.k, st.decision, m.Decision)
+	}
+	r.flushPoFs()
+}
+
+// onPoF fires from the accountability log exactly once per culprit.
+func (r *Replica) onPoF(p accountability.PoF) {
+	if r.FirstPoFAt == 0 {
+		r.FirstPoFAt = r.cfg.Env.Now()
+	}
+	if !r.thresholdSeen && r.log.CulpritCount() >= r.view.FaultThreshold() {
+		r.thresholdSeen = true
+		r.ThresholdAt = r.cfg.Env.Now()
+	}
+	if r.cfg.OnPoF != nil {
+		r.cfg.OnPoF(p)
+	}
+	// Defer gossip + membership-change triggering to flushPoFs so a batch
+	// of PoFs discovered in one event is handled once.
+	r.outPoFs = append(r.outPoFs, p)
+}
+
+// flushPoFs gossips newly found PoFs and starts the membership change when
+// the fd threshold is met (Alg. 1 lines 13-22).
+func (r *Replica) flushPoFs() {
+	if len(r.outPoFs) > 0 {
+		pofs := r.outPoFs
+		r.outPoFs = nil
+		if r.cfg.Recover && !r.cfg.Deceitful {
+			if r.change != nil && !r.change.Done() {
+				r.change.OnPoFs(pofs)
+			} else {
+				msg := &PoFGossip{PoFs: pofs}
+				for _, m := range r.view.Members() {
+					if m != r.cfg.Self {
+						r.cfg.Env.Send(m, msg)
+					}
+				}
+			}
+		}
+	}
+	r.maybeStartChange()
+}
+
+// maybeStartChange begins the membership change once PoFs cover at least
+// fd = ⌈n/3⌉ distinct replicas.
+func (r *Replica) maybeStartChange() {
+	if !r.cfg.Recover || !r.member || r.cfg.Deceitful {
+		return
+	}
+	if r.change != nil && !r.change.Done() {
+		return
+	}
+	if r.log.CulpritCount() < r.view.FaultThreshold() {
+		return
+	}
+	// Stop pending (undecided) instances: they restart with the new
+	// committee (Alg. 1 lines 19, 49).
+	for _, st := range r.instances {
+		if !st.decided {
+			st.stopped = true
+		}
+	}
+	r.change = membership.NewChange(membership.Config{
+		Epoch:        r.epoch + 1,
+		Self:         r.cfg.Self,
+		Signer:       r.cfg.Signer,
+		Log:          r.log,
+		Env:          r.cfg.Env,
+		Committee:    r.view.MembersCopy(),
+		Pool:         r.pool,
+		TargetSize:   r.view.Size(),
+		CoordTimeout: r.cfg.CoordTimeout,
+		OnResult:     func(res *membership.Result) { r.onChangeResult(res) },
+	})
+	// Exclusion traffic from peers that started before us is waiting.
+	r.replayPending()
+}
+
+// onChangeResult applies a completed membership change: update C, punish,
+// catch new replicas up, restart stopped instances (Alg. 1 lines 37-49).
+func (r *Replica) onChangeResult(res *membership.Result) {
+	r.epoch = res.Epoch
+	r.changes = append(r.changes, res)
+	r.view.Exclude(res.Excluded)
+	r.view.Include(res.Included)
+	r.pool.MarkTaken(res.Included)
+	r.log.Forget(res.Excluded)
+	r.thresholdSeen = false
+	r.member = r.view.Contains(r.cfg.Self)
+	if r.cfg.OnMembershipChange != nil {
+		r.cfg.OnMembershipChange(res)
+	}
+	// Restart stopped instances under the new committee (line 49). The
+	// attempt number equals the membership epoch everywhere, so honest
+	// replicas that restart independently agree on the restarted run's
+	// identity.
+	for _, st := range r.instances {
+		if st.stopped && !st.decided {
+			k := st.k
+			fresh := &instState{
+				k:          k,
+				attempt:    uint32(r.epoch),
+				confirms:   make(map[types.ReplicaID]types.Digest),
+				remoteSeen: make(map[types.Digest]bool),
+				reqSent:    make(map[types.ReplicaID]bool),
+			}
+			fresh.inst = r.buildSBC(k, fresh)
+			r.instances[k] = fresh
+			r.startInstance(k)
+		}
+	}
+	// Some honest replicas may have decided the stopped instances before
+	// the change reached them; pull their certified blocks so we adopt
+	// instead of re-deciding a parallel run.
+	minUndecided := r.nextK
+	for k, st := range r.instances {
+		if !st.decided && k < minUndecided {
+			minUndecided = k
+		}
+	}
+	req := &CatchupReq{FromK: minUndecided}
+	for _, m := range r.view.Members() {
+		if m != r.cfg.Self {
+			r.cfg.Env.Send(m, req)
+		}
+	}
+	// Send catch-up to every included replica (lines 45-47).
+	if r.member && len(res.Included) > 0 {
+		notice := r.buildJoinNotice()
+		for _, id := range res.Included {
+			if id != r.cfg.Self {
+				r.cfg.Env.Send(id, notice)
+			}
+		}
+	}
+	// Buffered traffic for restarted attempts (and the next epoch's
+	// change) may now be routable.
+	r.replayPending()
+	// A second wave of PoFs may already justify another change.
+	r.maybeStartChange()
+}
+
+func (r *Replica) buildJoinNotice() *JoinNotice {
+	ks := make([]uint64, 0, len(r.committed))
+	for k := range r.committed {
+		ks = append(ks, k)
+	}
+	sortUint64(ks)
+	blocks := make([]BlockRecord, 0, len(ks))
+	for _, k := range ks {
+		st := r.instances[k]
+		blocks = append(blocks, BlockRecord{K: k, Attempt: st.attempt, Decision: st.decision})
+	}
+	pending := make(map[uint64]uint32)
+	for k, st := range r.instances {
+		if !st.decided && !st.stopped {
+			pending[k] = st.attempt
+		}
+	}
+	return &JoinNotice{
+		Epoch:           r.epoch,
+		Committee:       r.view.MembersCopy(),
+		NextK:           r.nextK,
+		Blocks:          blocks,
+		PendingAttempts: pending,
+	}
+}
+
+// onJoinNotice runs on a pool node: verify the shipped chain, adopt the
+// committee, start participating.
+func (r *Replica) onJoinNotice(_ types.ReplicaID, m *JoinNotice) {
+	if r.member || m.Epoch == 0 {
+		return
+	}
+	inCommittee := false
+	for _, id := range m.Committee {
+		if id == r.cfg.Self {
+			inCommittee = true
+			break
+		}
+	}
+	if !inCommittee {
+		return
+	}
+	// Audit the shipped chain; the cost (certificates over n signers per
+	// block) is the catch-up cost of Fig. 5 (right).
+	n := len(m.Committee)
+	for _, b := range m.Blocks {
+		if err := VerifyDecision(r.cfg.Signer, b.Decision, n); err != nil {
+			return
+		}
+	}
+	r.member = true
+	r.epoch = m.Epoch
+	r.view = committee.NewView(m.Committee)
+	for _, b := range m.Blocks {
+		if _, dup := r.committed[b.K]; !dup {
+			st := r.ensureInstance(b.K)
+			st.attempt = b.Attempt
+			st.decided = true
+			st.decision = b.Decision
+			st.digest = b.Decision.Digest()
+			r.committed[b.K] = b.Decision
+			AbsorbDecision(r.log, b.Decision)
+			if r.cfg.OnCommit != nil {
+				r.cfg.OnCommit(b.K, b.Attempt, b.Decision)
+			}
+		}
+	}
+	if m.NextK > r.nextK {
+		r.nextK = m.NextK
+	}
+	// In-flight instances run at attempt = epoch; ensureInstance picks
+	// that up from the epoch adopted above.
+	if r.cfg.OnJoined != nil {
+		r.cfg.OnJoined(m.Epoch, m.Committee)
+	}
+	r.started = true
+	r.startInstance(r.nextK)
+	r.replayPending()
+	r.flushPoFs()
+}
+
+// onPoFGossip ingests gossiped PoFs outside a membership change.
+func (r *Replica) onPoFGossip(_ types.ReplicaID, m *PoFGossip) {
+	if !r.cfg.Accountable {
+		return
+	}
+	for _, p := range m.PoFs {
+		if p.Verify(r.cfg.Signer) {
+			r.log.AddPoF(p)
+		}
+	}
+	r.flushPoFs()
+}
+
+func (r *Replica) onCatchupReq(from types.ReplicaID, m *CatchupReq) {
+	ks := make([]uint64, 0, len(r.committed))
+	for k := range r.committed {
+		if k >= m.FromK {
+			ks = append(ks, k)
+		}
+	}
+	sortUint64(ks)
+	blocks := make([]BlockRecord, 0, len(ks))
+	for _, k := range ks {
+		st := r.instances[k]
+		blocks = append(blocks, BlockRecord{K: k, Attempt: st.attempt, Decision: st.decision})
+	}
+	r.cfg.Env.Send(from, &CatchupResp{Blocks: blocks})
+}
+
+func (r *Replica) onCatchupResp(_ types.ReplicaID, m *CatchupResp) {
+	for _, b := range m.Blocks {
+		if _, dup := r.committed[b.K]; dup {
+			continue
+		}
+		if err := VerifyDecision(r.cfg.Signer, b.Decision, r.view.Size()); err != nil {
+			continue
+		}
+		st := r.ensureInstance(b.K)
+		st.decided = true
+		st.stopped = true // supersede any parallel restarted run
+		st.decision = b.Decision
+		st.digest = b.Decision.Digest()
+		r.committed[b.K] = b.Decision
+		AbsorbDecision(r.log, b.Decision)
+		if r.cfg.OnCommit != nil {
+			r.cfg.OnCommit(b.K, b.Attempt, b.Decision)
+		}
+		if b.K >= r.nextK {
+			r.nextK = b.K + 1
+			r.startInstance(r.nextK)
+		}
+	}
+	r.flushPoFs()
+}
+
+// OnMessage implements simnet.Handler.
+func (r *Replica) OnMessage(from types.ReplicaID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *Confirm:
+		r.onConfirm(from, m)
+	case *BlockReq:
+		r.onBlockReq(from, m)
+	case *BlockResp:
+		r.onBlockResp(from, m)
+	case *PoFGossip:
+		r.onPoFGossip(from, m)
+	case *JoinNotice:
+		r.onJoinNotice(from, m)
+	case *CatchupReq:
+		r.onCatchupReq(from, m)
+	case *CatchupResp:
+		r.onCatchupResp(from, m)
+	case *membership.PoFBroadcast:
+		if r.change != nil && !r.change.Done() && r.change.OnMessage(from, msg) {
+			break
+		}
+		// No active change: treat as gossip (lines 13-16 run anytime).
+		r.onPoFGossip(from, &PoFGossip{PoFs: m.PoFs})
+	default:
+		r.routeConsensus(from, msg, true)
+	}
+	r.flushPoFs()
+}
+
+// routeConsensus dispatches consensus traffic: membership change contexts
+// first, then the main chain by wire instance. Messages that cannot be
+// routed yet (change not started here, future attempt, future epoch) are
+// buffered when mayBuffer is set and replayed on state transitions.
+func (r *Replica) routeConsensus(from types.ReplicaID, msg simnet.Message, mayBuffer bool) bool {
+	ctx, wi, ok := sbc.ContextInstanceOf(msg)
+	if !ok {
+		return true // not consensus traffic; nothing to do
+	}
+	switch ctx {
+	case accountability.CtxExclusion, accountability.CtxInclusion:
+		epoch, _ := membership.SplitChangeInstance(wi)
+		if r.change != nil && r.change.Epoch() == epoch {
+			return r.change.OnMessage(from, msg)
+		}
+		if epoch > r.epoch {
+			// A peer is running a change we have not started yet.
+			if mayBuffer {
+				r.buffer(from, msg)
+			}
+			return false
+		}
+		return false // stale epoch
+	case accountability.CtxMain:
+		k, attempt := SplitInstance(wi)
+		st := r.ensureInstance(k)
+		switch {
+		case st.attempt == attempt && !st.stopped:
+			st.inst.OnMessage(from, msg)
+			return true
+		case attempt > st.attempt || st.stopped:
+			// A peer already restarted this instance; we will too after
+			// our membership change completes.
+			if mayBuffer {
+				r.buffer(from, msg)
+			}
+			return false
+		default:
+			return false // stale attempt
+		}
+	default:
+		return false
+	}
+}
+
+func (r *Replica) buffer(from types.ReplicaID, msg simnet.Message) {
+	if len(r.pending) >= maxPending {
+		r.pending = r.pending[1:]
+	}
+	r.pending = append(r.pending, bufferedMsg{from: from, msg: msg})
+}
+
+// replayPending re-runs buffered messages after a state transition
+// (membership change started or finished, instance restarted, joined).
+func (r *Replica) replayPending() {
+	if len(r.pending) == 0 {
+		return
+	}
+	buffered := r.pending
+	r.pending = nil
+	for _, p := range buffered {
+		if !r.routeConsensus(p.from, p.msg, false) {
+			// Still unroutable: keep it (re-buffer preserving order).
+			r.buffer(p.from, p.msg)
+		}
+	}
+}
+
+// OnTimer implements simnet.Handler.
+func (r *Replica) OnTimer(payload any) {
+	tp, ok := payload.(bincon.TimerPayload)
+	if !ok {
+		return
+	}
+	if r.change != nil && r.change.OnTimer(tp) {
+		return
+	}
+	if tp.Context != accountability.CtxMain {
+		return
+	}
+	k, attempt := SplitInstance(tp.Instance)
+	if st, ok := r.instances[k]; ok && st.attempt == attempt && !st.stopped {
+		st.inst.OnTimer(tp)
+	}
+	r.flushPoFs()
+}

@@ -1,0 +1,25 @@
+package asmr
+
+import (
+	"sort"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// mainInstanceOf extracts the wire instance from a main-chain consensus
+// message; ok is false for messages of other contexts or non-consensus
+// types.
+func mainInstanceOf(msg simnet.Message) (types.Instance, bool) {
+	ctx, wi, ok := sbc.ContextInstanceOf(msg)
+	if !ok || ctx != accountability.CtxMain {
+		return 0, false
+	}
+	return wi, true
+}
+
+func sortUint64(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,108 @@
+package asmr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Errors returned by decision verification.
+var (
+	ErrNoDecision   = errors.New("asmr: missing decision")
+	ErrMissingCert  = errors.New("asmr: decision slot missing certificate")
+	ErrBadCert      = errors.New("asmr: decision certificate invalid")
+	ErrBadPayload   = errors.New("asmr: proposal payload does not match digest")
+	ErrWrongContext = errors.New("asmr: certificate for a different instance")
+)
+
+// VerifyDecision audits a received decided block: every slot decided 1
+// must carry a valid binary decision certificate for value 1 and its
+// payload must match its digest; the reliable-broadcast delivery
+// certificate, when present, must match too. n is the committee size the
+// instance ran with. This is the work a replica performs when catching up
+// or when auditing a conflicting branch — its cost is what makes the
+// paper's Figure 5 (catch-up time grows with n) look the way it does.
+func VerifyDecision(v *crypto.Signer, d *sbc.Decision, n int) error {
+	if d == nil {
+		return ErrNoDecision
+	}
+	quorum := types.Quorum(n)
+	readyMin := 2*types.MaxClassicFaults(n) + 1
+	for id, bit := range d.Bits {
+		cert := d.BinCerts[id]
+		if cert == nil {
+			return fmt.Errorf("%w: slot %v", ErrMissingCert, id)
+		}
+		if cert.Stmt.Kind != accountability.KindAux ||
+			cert.Stmt.Instance != d.Instance ||
+			cert.Stmt.Slot != uint32(id) ||
+			accountability.DigestBool(cert.Stmt.Value) != bit {
+			return fmt.Errorf("%w: slot %v", ErrWrongContext, id)
+		}
+		if err := cert.Verify(v, n, nil); err != nil {
+			return fmt.Errorf("%w: slot %v: %v", ErrBadCert, id, err)
+		}
+		_ = quorum
+		if !bit {
+			continue
+		}
+		p, ok := d.Proposals[id]
+		if !ok {
+			return fmt.Errorf("%w: slot %v decided 1 without payload", ErrNoDecision, id)
+		}
+		if types.Hash(p.Payload) != p.Digest {
+			return fmt.Errorf("%w: slot %v", ErrBadPayload, id)
+		}
+		if rc := d.ReadyCerts[id]; rc != nil {
+			if rc.Stmt.Kind != accountability.KindReady ||
+				rc.Stmt.Instance != d.Instance ||
+				rc.Stmt.Slot != uint32(id) ||
+				rc.Stmt.Value != p.Digest {
+				return fmt.Errorf("%w: ready cert slot %v", ErrWrongContext, id)
+			}
+			seen := types.NewReplicaSet()
+			for _, sig := range rc.Sigs {
+				if sig.Stmt != rc.Stmt {
+					return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+				}
+				if !sig.Verify(v) {
+					return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+				}
+				seen.Add(sig.Signer)
+			}
+			if seen.Len() < readyMin {
+				return fmt.Errorf("%w: ready cert slot %v below 2t+1", ErrBadCert, id)
+			}
+		}
+	}
+	return nil
+}
+
+// AbsorbDecision records every certificate of a verified decision into the
+// accountability log, surfacing PoFs against any replica that signed
+// conflicting statements across branches — the cross-check of §4.1 .
+func AbsorbDecision(log *accountability.Log, d *sbc.Decision) {
+	if d == nil {
+		return
+	}
+	ids := make([]types.ReplicaID, 0, len(d.Bits))
+	for id := range d.Bits {
+		ids = append(ids, id)
+	}
+	types.SortReplicas(ids)
+	for _, id := range ids {
+		if c := d.BinCerts[id]; c != nil {
+			log.RecordCertificate(c)
+		}
+		if c := d.ReadyCerts[id]; c != nil {
+			log.RecordCertificate(c)
+		}
+		if s := d.InitStmts[id]; s != nil {
+			log.Record(*s)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+)
+
+func TestFig3SmallScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	points, err := RunFig3(Fig3Config{Ns: []int{10}, Instances: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bysys := map[System]float64{}
+	for _, p := range points {
+		if p.TxPerSec <= 0 {
+			t.Fatalf("%s n=%d: zero throughput", p.System, p.N)
+		}
+		bysys[p.System] = p.TxPerSec
+	}
+	// Paper shape at small n: Red Belly ≥ ZLB (accountability costs),
+	// Polygraph ≥ ZLB below ~40 replicas, HotStuff lowest... at n=10
+	// HotStuff can still be competitive; the hard requirement is
+	// RBB ≥ ZLB.
+	if bysys[SystemRedBelly] < bysys[SystemZLB] {
+		t.Errorf("Red Belly (%.0f) slower than ZLB (%.0f) at n=10", bysys[SystemRedBelly], bysys[SystemZLB])
+	}
+}
+
+func TestTable1MergeShape(t *testing.T) {
+	// Larger sizes amortize fixed overheads; small blocks are too noisy
+	// for a scaling assertion on shared CI machines.
+	rows, err := RunTable1([]int{1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Merge <= 0 || rows[1].Merge <= 0 {
+		t.Fatal("non-positive merge time")
+	}
+	// Merge time must grow roughly linearly: 10× the transactions should
+	// not cost more than ~40× the time (generous CI bound).
+	if rows[1].Merge > rows[0].Merge*40 {
+		t.Errorf("merge scaling superlinear: %v -> %v", rows[0].Merge, rows[1].Merge)
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	d, err := DelayByName("1000ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := RunFig4(Fig4Config{
+		Ns:        []int{9},
+		Delays:    []DelaySpec{d},
+		Attack:    adversary.AttackBinary,
+		Seed:      3,
+		Instances: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if !points[0].Detected {
+		t.Error("attack went undetected")
+	}
+}
+
+func TestAppendixBGoldenRows(t *testing.T) {
+	rows := RunAppendixB()
+	found := false
+	for _, r := range rows {
+		if r.Delta == 0.5 && r.Rho == 0.9 {
+			found = true
+			if r.MinDepth != 28 {
+				t.Errorf("m(δ=0.5, ρ=0.9) = %d, want 28", r.MinDepth)
+			}
+			if r.Branches != 3 {
+				t.Errorf("a(0.5) = %d, want 3", r.Branches)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("δ=0.5, ρ=0.9 row missing")
+	}
+}
+
+func TestDeceitfulCount(t *testing.T) {
+	// d = ⌈5n/9⌉ − 1.
+	cases := map[int]int{9: 4, 10: 5, 18: 9, 90: 49, 100: 55}
+	for n, want := range cases {
+		if got := DeceitfulCount(n); got != want {
+			t.Errorf("DeceitfulCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDelayByName(t *testing.T) {
+	for _, name := range []string{"200ms", "500ms", "1000ms", "gamma", "aws-like", "5000ms", "10000ms"} {
+		if _, err := DelayByName(name); err != nil {
+			t.Errorf("DelayByName(%q): %v", name, err)
+		}
+	}
+	if _, err := DelayByName("bogus"); err == nil {
+		t.Error("bogus delay accepted")
+	}
+}
+
+func TestStandardDelaysComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, d := range StandardDelays() {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"200ms", "500ms", "1000ms", "gamma", "aws-like"} {
+		if !names[want] {
+			t.Errorf("missing standard delay %q", want)
+		}
+	}
+}
+
+func TestBuildConflictingBlocks(t *testing.T) {
+	ledger, local, remote, err := BuildConflictingBlocks(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Digest == remote.Digest {
+		t.Fatal("blocks do not conflict")
+	}
+	if !ledger.Conflicts(remote) {
+		t.Fatal("fork not detected")
+	}
+	start := time.Now()
+	if got := ledger.MergeBlock(remote); got != 50 {
+		t.Fatalf("merged %d, want 50", got)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("merge absurdly slow")
+	}
+}

@@ -1,0 +1,210 @@
+// Package committee manages the replica committee views that ZLB's
+// consensus instances run over: the current committee C, the
+// exclusion-consensus working view C′ that shrinks at runtime as new
+// proofs of fraud arrive (Alg. 1 lines 20-27), and the candidate pool new
+// replicas are drawn from (§3.2).
+package committee
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// View is a committee membership snapshot with protocol thresholds. Views
+// are mutable — the exclusion consensus removes members at runtime and
+// re-evaluates quorums — so consumers must consult the view at check time
+// rather than caching thresholds. Epoch increments on every change,
+// letting consumers detect staleness cheaply.
+type View struct {
+	epoch   uint64
+	members []types.ReplicaID // sorted
+	present map[types.ReplicaID]struct{}
+	// onChange subscribers fire after every membership change.
+	onChange []func()
+}
+
+// NewView builds a view over the given members.
+func NewView(members []types.ReplicaID) *View {
+	v := &View{present: make(map[types.ReplicaID]struct{}, len(members))}
+	for _, id := range members {
+		if _, dup := v.present[id]; dup {
+			continue
+		}
+		v.present[id] = struct{}{}
+		v.members = append(v.members, id)
+	}
+	types.SortReplicas(v.members)
+	return v
+}
+
+// Clone returns an independent copy with no subscribers (epoch resets).
+func (v *View) Clone() *View { return NewView(v.members) }
+
+// Epoch returns the change counter.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Size returns |C|.
+func (v *View) Size() int { return len(v.members) }
+
+// Quorum returns ⌈2|C|/3⌉, the certificate threshold at the current size.
+func (v *View) Quorum() int { return types.Quorum(len(v.members)) }
+
+// FaultThreshold returns fd = ⌈|C|/3⌉.
+func (v *View) FaultThreshold() int { return types.FaultThreshold(len(v.members)) }
+
+// MaxFaults returns ⌈|C|/3⌉ − 1.
+func (v *View) MaxFaults() int { return types.MaxClassicFaults(len(v.members)) }
+
+// BVRelay returns t+1.
+func (v *View) BVRelay() int { return types.BVRelayThreshold(len(v.members)) }
+
+// Contains reports membership.
+func (v *View) Contains(id types.ReplicaID) bool {
+	_, ok := v.present[id]
+	return ok
+}
+
+// Members returns the sorted membership; callers must not mutate it.
+func (v *View) Members() []types.ReplicaID { return v.members }
+
+// MembersCopy returns an owned copy of the membership.
+func (v *View) MembersCopy() []types.ReplicaID {
+	out := make([]types.ReplicaID, len(v.members))
+	copy(out, v.members)
+	return out
+}
+
+// Coordinator returns the weak coordinator for (instance, slot, round):
+// rotation over the sorted membership so every member eventually
+// coordinates (liveness after GST).
+func (v *View) Coordinator(inst types.Instance, slot uint32, round types.Round) types.ReplicaID {
+	if len(v.members) == 0 {
+		return types.NilReplica
+	}
+	idx := (uint64(inst) + uint64(slot) + uint64(round)) % uint64(len(v.members))
+	return v.members[idx]
+}
+
+// IndexOf returns the position of id in the sorted membership, or -1.
+func (v *View) IndexOf(id types.ReplicaID) int {
+	i := sort.Search(len(v.members), func(i int) bool { return v.members[i] >= id })
+	if i < len(v.members) && v.members[i] == id {
+		return i
+	}
+	return -1
+}
+
+// Subscribe registers a callback fired after every membership change.
+func (v *View) Subscribe(fn func()) { v.onChange = append(v.onChange, fn) }
+
+// Exclude removes the given replicas; absent IDs are ignored. It reports
+// whether anything changed and notifies subscribers if so.
+func (v *View) Exclude(ids []types.ReplicaID) bool {
+	changed := false
+	for _, id := range ids {
+		if _, ok := v.present[id]; ok {
+			delete(v.present, id)
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	v.members = v.members[:0]
+	for id := range v.present {
+		v.members = append(v.members, id)
+	}
+	types.SortReplicas(v.members)
+	v.epoch++
+	for _, fn := range v.onChange {
+		fn()
+	}
+	return true
+}
+
+// Include adds the given replicas; duplicates are ignored. It reports
+// whether anything changed and notifies subscribers if so.
+func (v *View) Include(ids []types.ReplicaID) bool {
+	changed := false
+	for _, id := range ids {
+		if _, ok := v.present[id]; !ok {
+			v.present[id] = struct{}{}
+			v.members = append(v.members, id)
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	types.SortReplicas(v.members)
+	v.epoch++
+	for _, fn := range v.onChange {
+		fn()
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (v *View) String() string {
+	return fmt.Sprintf("view(n=%d,epoch=%d)", len(v.members), v.epoch)
+}
+
+// Pool is the set of candidate replicas available for inclusion (§3.2):
+// at least 2n/3 honest nodes among m ≥ n candidates at the start of each
+// static period. Take returns candidates deterministically (sorted order)
+// so honest replicas propose overlapping inclusion sets.
+type Pool struct {
+	candidates []types.ReplicaID // sorted, not yet taken
+	taken      map[types.ReplicaID]struct{}
+}
+
+// NewPool builds a pool from candidate IDs.
+func NewPool(candidates []types.ReplicaID) *Pool {
+	p := &Pool{taken: make(map[types.ReplicaID]struct{})}
+	p.candidates = append(p.candidates, candidates...)
+	types.SortReplicas(p.candidates)
+	return p
+}
+
+// Len returns how many candidates remain.
+func (p *Pool) Len() int { return len(p.candidates) }
+
+// Peek returns up to k candidates without removing them. The paper's
+// inclusion consensus proposes pool.take(|cons-exclude|) (Alg. 1 line 41);
+// candidates are only truly consumed once the inclusion consensus decides
+// them (MarkTaken), since other replicas' proposals may win.
+func (p *Pool) Peek(k int) []types.ReplicaID {
+	if k > len(p.candidates) {
+		k = len(p.candidates)
+	}
+	out := make([]types.ReplicaID, k)
+	copy(out, p.candidates[:k])
+	return out
+}
+
+// MarkTaken permanently removes the given candidates (they joined the
+// committee). Per the convergence proof, no replica is included twice.
+func (p *Pool) MarkTaken(ids []types.ReplicaID) {
+	for _, id := range ids {
+		p.taken[id] = struct{}{}
+	}
+	kept := p.candidates[:0]
+	for _, id := range p.candidates {
+		if _, gone := p.taken[id]; !gone {
+			kept = append(kept, id)
+		}
+	}
+	p.candidates = kept
+}
+
+// Contains reports whether id is still available.
+func (p *Pool) Contains(id types.ReplicaID) bool {
+	for _, c := range p.candidates {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+package committee
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+func ids(xs ...int) []types.ReplicaID {
+	out := make([]types.ReplicaID, len(xs))
+	for i, x := range xs {
+		out[i] = types.ReplicaID(x)
+	}
+	return out
+}
+
+func TestViewBasics(t *testing.T) {
+	v := NewView(ids(3, 1, 2, 2))
+	if v.Size() != 3 {
+		t.Fatalf("size %d, want 3 (dedup)", v.Size())
+	}
+	if got := v.Members(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("members not sorted: %v", got)
+	}
+	if !v.Contains(2) || v.Contains(9) {
+		t.Fatal("contains wrong")
+	}
+	if v.IndexOf(2) != 1 || v.IndexOf(9) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if v.Quorum() != types.Quorum(3) || v.FaultThreshold() != types.FaultThreshold(3) {
+		t.Fatal("threshold mismatch")
+	}
+}
+
+func TestViewExcludeIncludeEpochs(t *testing.T) {
+	v := NewView(ids(1, 2, 3, 4, 5))
+	e0 := v.Epoch()
+	fired := 0
+	v.Subscribe(func() { fired++ })
+
+	if !v.Exclude(ids(2, 4)) {
+		t.Fatal("exclude reported no change")
+	}
+	if v.Size() != 3 || v.Contains(2) || v.Contains(4) {
+		t.Fatal("exclusion not applied")
+	}
+	if v.Epoch() != e0+1 || fired != 1 {
+		t.Fatalf("epoch %d fired %d", v.Epoch(), fired)
+	}
+	if v.Exclude(ids(2)) {
+		t.Fatal("re-exclusion reported change")
+	}
+	if !v.Include(ids(7, 8)) {
+		t.Fatal("include reported no change")
+	}
+	if v.Size() != 5 || !v.Contains(7) {
+		t.Fatal("inclusion not applied")
+	}
+	if fired != 2 {
+		t.Fatalf("subscribers fired %d times, want 2", fired)
+	}
+	got := v.Members()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("members not sorted after changes: %v", got)
+		}
+	}
+}
+
+func TestViewQuorumShrinksAtRuntime(t *testing.T) {
+	// The exclusion consensus depends on thresholds following the live
+	// view (Alg. 1 line 35).
+	v := NewView(ids(1, 2, 3, 4, 5, 6, 7, 8, 9))
+	if v.Quorum() != 6 {
+		t.Fatalf("quorum %d, want 6", v.Quorum())
+	}
+	v.Exclude(ids(1, 2, 3))
+	if v.Quorum() != 4 {
+		t.Fatalf("quorum after exclusion %d, want 4", v.Quorum())
+	}
+}
+
+func TestCoordinatorRotation(t *testing.T) {
+	v := NewView(ids(1, 2, 3, 4))
+	seen := map[types.ReplicaID]bool{}
+	for r := types.Round(0); r < 8; r++ {
+		c := v.Coordinator(1, 0, r)
+		if !v.Contains(c) {
+			t.Fatalf("coordinator %v not a member", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("rotation covered %d members, want 4", len(seen))
+	}
+	empty := NewView(nil)
+	if empty.Coordinator(1, 0, 0) != types.NilReplica {
+		t.Fatal("empty view coordinator")
+	}
+}
+
+func TestViewCloneDropsSubscribers(t *testing.T) {
+	v := NewView(ids(1, 2, 3))
+	fired := 0
+	v.Subscribe(func() { fired++ })
+	c := v.Clone()
+	c.Exclude(ids(1))
+	if fired != 0 {
+		t.Fatal("clone kept the original's subscribers")
+	}
+	if v.Size() != 3 {
+		t.Fatal("clone shares membership")
+	}
+}
+
+func TestPoolPeekAndTake(t *testing.T) {
+	p := NewPool(ids(5, 3, 4))
+	if p.Len() != 3 {
+		t.Fatalf("len %d", p.Len())
+	}
+	got := p.Peek(2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("peek = %v, want sorted [3 4]", got)
+	}
+	// Peek does not consume.
+	if p.Len() != 3 {
+		t.Fatal("peek consumed")
+	}
+	p.MarkTaken(ids(3))
+	if p.Contains(3) || !p.Contains(4) {
+		t.Fatal("take wrong")
+	}
+	if got := p.Peek(10); len(got) != 2 {
+		t.Fatalf("peek beyond size = %v", got)
+	}
+	// No candidate returns twice (convergence proof assumption).
+	p.MarkTaken(ids(4, 5))
+	if p.Len() != 0 {
+		t.Fatalf("pool should be empty, has %d", p.Len())
+	}
+}
+
+// Property: after any sequence of exclusions, members stay sorted, sized
+// consistently, and thresholds coherent.
+func TestViewInvariantsProperty(t *testing.T) {
+	f := func(excl []uint8) bool {
+		v := NewView(ids(1, 2, 3, 4, 5, 6, 7, 8, 9, 10))
+		for _, e := range excl {
+			v.Exclude(ids(int(e%12) + 1))
+		}
+		m := v.Members()
+		if len(m) != v.Size() {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i-1] >= m[i] {
+				return false
+			}
+		}
+		return v.Quorum() == types.Quorum(v.Size()) &&
+			v.BVRelay() == types.BVRelayThreshold(v.Size())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+func TestSignVerifyAllSchemes(t *testing.T) {
+	for _, kind := range []SchemeKind{SchemeECDSA, SchemeEd25519, SchemeSim} {
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := NewRegistry(kind)
+			scheme, err := NewScheme(kind, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kp, err := scheme.GenerateKey(NewDeterministicRand(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register(1, kp); err != nil {
+				t.Fatal(err)
+			}
+			digest := types.Hash([]byte("statement"))
+			sig, err := scheme.Sign(kp, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !scheme.Verify(kp.Public(), digest, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			other := types.Hash([]byte("other"))
+			if scheme.Verify(kp.Public(), other, sig) {
+				t.Fatal("signature accepted for wrong digest")
+			}
+			bad := append(Signature(nil), sig...)
+			bad[0] ^= 0xff
+			if scheme.Verify(kp.Public(), digest, bad) {
+				t.Fatal("tampered signature accepted")
+			}
+		})
+	}
+}
+
+func TestCrossKeyRejection(t *testing.T) {
+	for _, kind := range []SchemeKind{SchemeECDSA, SchemeEd25519, SchemeSim} {
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := NewRegistry(kind)
+			scheme, err := NewScheme(kind, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rand := NewDeterministicRand(2)
+			kp1, _ := scheme.GenerateKey(rand)
+			kp2, _ := scheme.GenerateKey(rand)
+			reg.Register(1, kp1)
+			reg.Register(2, kp2)
+			digest := types.Hash([]byte("x"))
+			sig, err := scheme.Sign(kp1, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scheme.Verify(kp2.Public(), digest, sig) {
+				t.Fatal("signature verified under the wrong key")
+			}
+		})
+	}
+}
+
+func TestDeterministicKeysAndSignatures(t *testing.T) {
+	// Reproducibility: the same seed yields the same keys and signatures.
+	// ECDSA is excluded: crypto/ecdsa intentionally randomizes its
+	// entropy consumption (randutil.MaybeReadByte), so it is not
+	// reproducible even from a deterministic reader — simulations default
+	// to Ed25519 or the sim scheme for this reason.
+	for _, kind := range []SchemeKind{SchemeEd25519, SchemeSim} {
+		reg1 := NewRegistry(kind)
+		s1, _ := NewScheme(kind, reg1)
+		reg2 := NewRegistry(kind)
+		s2, _ := NewScheme(kind, reg2)
+		kp1, _ := s1.GenerateKey(NewDeterministicRand(7))
+		kp2, _ := s2.GenerateKey(NewDeterministicRand(7))
+		if !bytes.Equal(kp1.Public(), kp2.Public()) {
+			t.Fatalf("%v: same seed, different keys", kind)
+		}
+		d := types.Hash([]byte("d"))
+		sig1, _ := s1.Sign(kp1, d)
+		sig2, _ := s2.Sign(kp2, d)
+		if !bytes.Equal(sig1, sig2) {
+			t.Fatalf("%v: same seed, different signatures", kind)
+		}
+	}
+}
+
+func TestWrongSchemeKeyPair(t *testing.T) {
+	regEd := NewRegistry(SchemeEd25519)
+	ed, _ := NewScheme(SchemeEd25519, regEd)
+	regEc := NewRegistry(SchemeECDSA)
+	ec, _ := NewScheme(SchemeECDSA, regEc)
+	kp, _ := ed.GenerateKey(NewDeterministicRand(1))
+	if _, err := ec.Sign(kp, types.Hash([]byte("x"))); err == nil {
+		t.Fatal("cross-scheme signing accepted")
+	}
+	if err := regEc.Register(1, kp); err == nil {
+		t.Fatal("cross-scheme registration accepted")
+	}
+}
+
+func TestGenerateCluster(t *testing.T) {
+	signers, reg, err := GenerateCluster(SchemeSim, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signers) != 5 || reg.Size() != 5 {
+		t.Fatalf("cluster size %d/%d", len(signers), reg.Size())
+	}
+	d := types.Hash([]byte("m"))
+	sig, err := signers[2].Sign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone can verify everyone through the shared registry.
+	for _, s := range signers {
+		if !s.Verify(3, d, sig) {
+			t.Fatal("cluster-wide verification failed")
+		}
+		if s.Verify(4, d, sig) {
+			t.Fatal("signature attributed to the wrong replica")
+		}
+	}
+}
+
+func TestSignerIdentity(t *testing.T) {
+	signers, _, err := GenerateCluster(SchemeEd25519, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range signers {
+		if s.ID() != types.ReplicaID(i+1) {
+			t.Fatalf("signer %d has ID %v", i, s.ID())
+		}
+	}
+}
+
+func TestDeterministicRandStream(t *testing.T) {
+	a := NewDeterministicRand(1)
+	b := NewDeterministicRand(1)
+	c := NewDeterministicRand(2)
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	bufC := make([]byte, 64)
+	a.Read(bufA)
+	b.Read(bufB)
+	c.Read(bufC)
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("same seed, different stream")
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Fatal("different seeds, same stream")
+	}
+}
+
+// Property: sim-scheme signatures never verify across distinct digests.
+func TestSimSchemeSoundnessProperty(t *testing.T) {
+	reg := NewRegistry(SchemeSim)
+	scheme, _ := NewScheme(SchemeSim, reg)
+	kp, _ := scheme.GenerateKey(NewDeterministicRand(3))
+	reg.Register(1, kp)
+	f := func(a, b []byte) bool {
+		da, db := types.Hash(a), types.Hash(b)
+		sig, err := scheme.Sign(kp, da)
+		if err != nil {
+			return false
+		}
+		if da == db {
+			return scheme.Verify(kp.Public(), db, sig)
+		}
+		return !scheme.Verify(kp.Public(), db, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownSchemeKind(t *testing.T) {
+	if _, err := NewScheme(SchemeKind(99), nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := NewScheme(SchemeSim, nil); err == nil {
+		t.Fatal("sim scheme without registry accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Registry is the public-key infrastructure the paper assumes (§3.2): a
+// mapping from replica identities to public keys, common to all replicas.
+// It is safe for concurrent use; the TCP transport verifies signatures
+// from multiple connection goroutines.
+type Registry struct {
+	mu    sync.RWMutex
+	kind  SchemeKind
+	keys  map[types.ReplicaID]PublicKey
+	seeds map[string][]byte // sim-scheme seeds, keyed by string(pub)
+}
+
+// NewRegistry creates an empty registry for the given scheme kind.
+func NewRegistry(kind SchemeKind) *Registry {
+	return &Registry{
+		kind:  kind,
+		keys:  make(map[types.ReplicaID]PublicKey),
+		seeds: make(map[string][]byte),
+	}
+}
+
+// Kind returns the scheme kind this registry serves.
+func (r *Registry) Kind() SchemeKind { return r.kind }
+
+// Register associates id with the pair's public key. Registering the sim
+// scheme also records the seed so verification can recompute the MAC.
+func (r *Registry) Register(id types.ReplicaID, kp *KeyPair) error {
+	if kp.kind != r.kind {
+		return ErrWrongScheme
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[id] = kp.pub
+	if kp.kind == SchemeSim {
+		r.seeds[string(kp.pub)] = kp.simSeed
+	}
+	return nil
+}
+
+// PublicKeyOf returns the registered key for id.
+func (r *Registry) PublicKeyOf(id types.ReplicaID) (PublicKey, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pk, ok := r.keys[id]
+	return pk, ok
+}
+
+// Size returns the number of registered identities.
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.keys)
+}
+
+func (r *Registry) simSeed(pub PublicKey) ([]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.seeds[string(pub)]
+	return s, ok
+}
+
+// Signer bundles a replica's identity, key pair, scheme and registry: the
+// signing context handed to every protocol component of one replica.
+type Signer struct {
+	id     types.ReplicaID
+	kp     *KeyPair
+	scheme Scheme
+	reg    *Registry
+}
+
+// NewSigner builds a Signer. The key pair must already be registered.
+func NewSigner(id types.ReplicaID, kp *KeyPair, scheme Scheme, reg *Registry) *Signer {
+	return &Signer{id: id, kp: kp, scheme: scheme, reg: reg}
+}
+
+// ID returns the replica identity this signer signs as.
+func (s *Signer) ID() types.ReplicaID { return s.id }
+
+// Sign signs the digest as this replica.
+func (s *Signer) Sign(digest types.Digest) (Signature, error) {
+	return s.scheme.Sign(s.kp, digest)
+}
+
+// Verify checks a signature attributed to signer over digest.
+func (s *Signer) Verify(signer types.ReplicaID, digest types.Digest, sig Signature) bool {
+	pub, ok := s.reg.PublicKeyOf(signer)
+	if !ok {
+		return false
+	}
+	return s.scheme.Verify(pub, digest, sig)
+}
+
+// Registry exposes the PKI for account-level checks.
+func (s *Signer) Registry() *Registry { return s.reg }
+
+// Scheme exposes the underlying scheme.
+func (s *Signer) Scheme() Scheme { return s.scheme }
+
+// DeterministicRand is an io.Reader producing a reproducible stream from a
+// seed, for generating whole clusters of keys in tests and simulations.
+type DeterministicRand struct {
+	counter uint64
+	seed    [32]byte
+	buf     []byte
+}
+
+// NewDeterministicRand seeds the stream.
+func NewDeterministicRand(seed int64) *DeterministicRand {
+	d := &DeterministicRand{}
+	binary.BigEndian.PutUint64(d.seed[:8], uint64(seed))
+	return d
+}
+
+// Read implements io.Reader; it never fails.
+func (d *DeterministicRand) Read(p []byte) (int, error) {
+	for i := range p {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.seed[:])
+			binary.BigEndian.PutUint64(block[32:], d.counter)
+			d.counter++
+			sum := types.Hash(block[:])
+			d.buf = append(d.buf[:0], sum[:]...)
+		}
+		p[i] = d.buf[0]
+		d.buf = d.buf[1:]
+	}
+	return len(p), nil
+}
+
+// GenerateCluster creates n key pairs (replica IDs 1..n), registers them,
+// and returns one Signer per replica. It is the standard way tests and
+// simulations bootstrap a committee PKI.
+func GenerateCluster(kind SchemeKind, n int, seed int64) ([]*Signer, *Registry, error) {
+	reg := NewRegistry(kind)
+	scheme, err := NewScheme(kind, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rand := NewDeterministicRand(seed)
+	signers := make([]*Signer, 0, n)
+	for i := 1; i <= n; i++ {
+		kp, err := scheme.GenerateKey(rand)
+		if err != nil {
+			return nil, nil, fmt.Errorf("generating key %d: %w", i, err)
+		}
+		id := types.ReplicaID(i)
+		if err := reg.Register(id, kp); err != nil {
+			return nil, nil, err
+		}
+		signers = append(signers, NewSigner(id, kp, scheme, reg))
+	}
+	return signers, reg, nil
+}

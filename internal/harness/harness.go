@@ -1,0 +1,509 @@
+// Package harness assembles full ZLB clusters on the discrete-event
+// simulator: committee + pool PKI, ASMR replicas (honest, deceitful,
+// benign), the coalition attack wiring, partition-aware latency, and the
+// metrics every experiment of §5 reads out (throughput, disagreements,
+// detection/exclusion/inclusion/catch-up times).
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/asmr"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// N is the committee size.
+	N int
+	// Deceitful is d, the coalition size (first d members by ID).
+	Deceitful int
+	// Benign is q: crashed committee members (the last q honest IDs).
+	Benign int
+	// Branches is the number of honest partitions the attack sustains;
+	// 0 = MaxBranches.
+	Branches int
+	// Attack selects the coalition strategy; zero value = AttackNone.
+	Attack adversary.Attack
+	// BaseLatency models the underlying network; nil = AWS matrix.
+	BaseLatency latency.Model
+	// PartitionDelay is the extra delay injected between honest partitions
+	// during attacks; nil = none.
+	PartitionDelay latency.Model
+	// Cost is the CPU model; zero value charges nothing. DefaultCostModel
+	// reproduces the paper's c4.xlarge behaviour.
+	Cost simnet.CostModel
+	// Seed drives all randomness.
+	Seed int64
+	// Accountable / Recover select the system: ZLB (true,true),
+	// Polygraph baseline (true,false), Red Belly baseline (false,false).
+	Accountable bool
+	Recover     bool
+	// DeceitfulBound is δ̂ for the confirmation threshold; 0 = 5/9.
+	DeceitfulBound float64
+	// MaxInstances bounds the chain length; 0 = 16.
+	MaxInstances uint64
+	// BatchTxs / BatchBytes model each proposal's batch (claimed sizes).
+	BatchTxs   int
+	BatchBytes int
+	// PoolSize is the number of standby candidates; 0 = N (all honest).
+	PoolSize int
+	// AttackAfter makes the coalition behave honestly on instances below
+	// this index (0 = attack from instance 1).
+	AttackAfter uint64
+	// WaitForWork defers instance starts until batches are non-empty
+	// (used by the payment application).
+	WaitForWork bool
+	// CoordTimeout overrides the binary consensus coordinator timeout.
+	CoordTimeout func(types.Round) time.Duration
+}
+
+// Commit records one replica's commit of one instance.
+type Commit struct {
+	K        uint64
+	Attempt  uint32
+	Decision *sbc.Decision
+	At       time.Duration
+}
+
+// Cluster is a fully wired simulated deployment.
+type Cluster struct {
+	Opts      Options
+	Net       *simnet.Network
+	Members   []types.ReplicaID
+	PoolIDs   []types.ReplicaID
+	Coalition *adversary.Coalition
+	Replicas  map[types.ReplicaID]*asmr.Replica
+	Signers   map[types.ReplicaID]*crypto.Signer
+	// Adversaries holds each deceitful replica's live attack wiring, so
+	// application layers that rebind BatchSource can re-bind attack
+	// payloads too.
+	Adversaries map[types.ReplicaID]*sbc.Adversary
+
+	// Commits[id][k] is the decision replica id committed for instance k.
+	Commits map[types.ReplicaID]map[uint64]*Commit
+	// Finals[id][k] marks confirmation finality.
+	Finals map[types.ReplicaID]map[uint64]time.Duration
+	// ChangeResults collects completed membership changes per replica.
+	ChangeResults map[types.ReplicaID][]*membership.Result
+	// JoinVerified records when an included pool node finished verifying
+	// its catch-up (for the Fig. 5 catch-up series).
+	JoinVerified map[types.ReplicaID]time.Duration
+	// TxCommitted accumulates claimed transactions committed (first honest
+	// replica's view).
+	TxCommitted int
+	// slotOutcomes[id][k][slot] is the first per-slot binary decision at
+	// replica id: the granularity Fig. 4 counts disagreements at.
+	slotOutcomes map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome
+}
+
+// New builds the cluster. Replica IDs 1..N are the committee; IDs
+// N+1..N+PoolSize are standby candidates.
+func New(opts Options) (*Cluster, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("harness: N must be positive, got %d", opts.N)
+	}
+	if opts.MaxInstances == 0 {
+		opts.MaxInstances = 16
+	}
+	poolSize := opts.PoolSize
+	if poolSize == 0 {
+		poolSize = opts.N
+	}
+	total := opts.N + poolSize
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, total, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+
+	members := make([]types.ReplicaID, opts.N)
+	for i := range members {
+		members[i] = types.ReplicaID(i + 1)
+	}
+	pool := make([]types.ReplicaID, poolSize)
+	for i := range pool {
+		pool[i] = types.ReplicaID(opts.N + i + 1)
+	}
+
+	attack := opts.Attack
+	if attack == 0 {
+		attack = adversary.AttackNone
+	}
+	branches := opts.Branches
+	if branches == 0 {
+		branches = adversary.MaxBranches(opts.N, opts.Deceitful)
+	}
+	coalition := adversary.NewCoalition(attack, members, opts.Deceitful, branches)
+
+	base := opts.BaseLatency
+	if base == nil {
+		base = latency.NewAWSMatrix()
+	}
+	var model latency.Model = base
+	if opts.PartitionDelay != nil {
+		model = &latency.PartitionOverlay{
+			Base:        base,
+			Extra:       opts.PartitionDelay,
+			PartitionOf: coalition.PartitionOf,
+		}
+	}
+
+	c := &Cluster{
+		Opts:          opts,
+		Members:       members,
+		PoolIDs:       pool,
+		Coalition:     coalition,
+		Replicas:      make(map[types.ReplicaID]*asmr.Replica, total),
+		Signers:       make(map[types.ReplicaID]*crypto.Signer, total),
+		Adversaries:   make(map[types.ReplicaID]*sbc.Adversary),
+		Commits:       make(map[types.ReplicaID]map[uint64]*Commit),
+		Finals:        make(map[types.ReplicaID]map[uint64]time.Duration),
+		ChangeResults: make(map[types.ReplicaID][]*membership.Result),
+		JoinVerified:  make(map[types.ReplicaID]time.Duration),
+		slotOutcomes:  make(map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome),
+	}
+	c.Net = simnet.New(simnet.Config{Latency: model, Cost: opts.Cost, Seed: opts.Seed})
+
+	all := append(append([]types.ReplicaID{}, members...), pool...)
+	for i, id := range all {
+		id := id
+		signer := signers[i]
+		c.Signers[id] = signer
+		c.Commits[id] = make(map[uint64]*Commit)
+		c.Finals[id] = make(map[uint64]time.Duration)
+		c.Net.AddNode(id, func(env simnet.Env) simnet.Handler {
+			return c.buildReplica(id, signer, env)
+		})
+	}
+
+	// Benign replicas crash: the last q honest committee members.
+	for i := 0; i < opts.Benign && i < opts.N-opts.Deceitful; i++ {
+		id := members[opts.N-1-i]
+		c.Net.SetUp(id, false)
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env simnet.Env) *asmr.Replica {
+	adv := c.Coalition.SBCAdversary(id)
+	if adv != nil {
+		c.Adversaries[id] = adv
+	}
+	cfg := asmr.Config{
+		Self:               id,
+		Signer:             signer,
+		Env:                env,
+		InitialCommittee:   c.Members,
+		PoolCandidates:     c.PoolIDs,
+		Accountable:        c.Opts.Accountable,
+		Recover:            c.Opts.Recover,
+		DeceitfulBound:     c.Opts.DeceitfulBound,
+		CoordTimeout:       c.Opts.CoordTimeout,
+		MaxInstances:       c.Opts.MaxInstances,
+		Adversary:          adv,
+		AttackFromInstance: c.Opts.AttackAfter,
+		WaitForWork:        c.Opts.WaitForWork,
+		Deceitful:          c.Coalition.IsDeceitful(id),
+		BatchSource: func(k uint64) asmr.Batch {
+			return c.batchFor(id, adv, k)
+		},
+		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
+			c.Commits[id][k] = &Commit{K: k, Attempt: attempt, Decision: d, At: env.Now()}
+		},
+		OnSlotDecide: func(k uint64, _ uint32, slot types.ReplicaID, value bool, digest types.Digest) {
+			byK, ok := c.slotOutcomes[id]
+			if !ok {
+				byK = make(map[uint64]map[types.ReplicaID]slotOutcome)
+				c.slotOutcomes[id] = byK
+			}
+			bySlot, ok := byK[k]
+			if !ok {
+				bySlot = make(map[types.ReplicaID]slotOutcome)
+				byK[k] = bySlot
+			}
+			if _, dup := bySlot[slot]; !dup {
+				bySlot[slot] = slotOutcome{bit: value, digest: digest}
+			}
+		},
+		OnFinal: func(k uint64, _ types.Digest) {
+			c.Finals[id][k] = env.Now()
+		},
+		OnMembershipChange: func(res *membership.Result) {
+			c.ChangeResults[id] = append(c.ChangeResults[id], res)
+		},
+		OnJoined: func(uint64, []types.ReplicaID) {
+			c.JoinVerified[id] = env.Now()
+		},
+	}
+	r := asmr.NewReplica(cfg)
+	c.Replicas[id] = r
+	return r
+}
+
+// batchFor builds the synthetic batch for (replica, instance) and binds
+// the attack payload when the replica is deceitful.
+func (c *Cluster) batchFor(id types.ReplicaID, adv *sbc.Adversary, k uint64) asmr.Batch {
+	payload := make([]byte, 32)
+	binary.BigEndian.PutUint32(payload[0:], uint32(id))
+	binary.BigEndian.PutUint64(payload[4:], k)
+	copy(payload[12:], "batch-payload-tag")
+	if adv != nil && c.Coalition.Attack == adversary.AttackRBCast {
+		c.Coalition.BindRBCastPayload(id, adv, payload)
+	}
+	return asmr.Batch{
+		Payload:      payload,
+		ClaimedBytes: c.Opts.BatchBytes,
+		ClaimedSigs:  c.Opts.BatchTxs,
+	}
+}
+
+// Start launches every committee member.
+func (c *Cluster) Start() {
+	for _, id := range c.Members {
+		c.Replicas[id].Start()
+	}
+}
+
+// Run processes events until the virtual deadline.
+func (c *Cluster) Run(until time.Duration) { c.Net.Run(until) }
+
+// RunUntilQuiet drains the event queue up to maxTime.
+func (c *Cluster) RunUntilQuiet(maxTime time.Duration) { c.Net.RunUntilQuiet(maxTime) }
+
+// HonestMembers returns the non-deceitful, non-benign committee members.
+func (c *Cluster) HonestMembers() []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, len(c.Members))
+	benign := make(map[types.ReplicaID]bool)
+	for i := 0; i < c.Opts.Benign && i < c.Opts.N-c.Opts.Deceitful; i++ {
+		benign[c.Members[c.Opts.N-1-i]] = true
+	}
+	for _, id := range c.Members {
+		if !c.Coalition.IsDeceitful(id) && !benign[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// slotOutcome is one honest replica's decided outcome for a slot.
+type slotOutcome struct {
+	bit    bool
+	digest types.Digest
+}
+
+// Disagreements counts, across all instances and proposer slots, how many
+// extra distinct outcomes honest replicas decided — the paper's
+// "disagreeing decisions / proposals" metric of Fig. 4: 0 means total
+// agreement; a slot decided two different ways contributes 1. Outcomes
+// are counted at the per-slot binary-decision granularity: a slot's
+// decision is final the moment its binary consensus decides, even if the
+// recovery stops the enclosing instance before the full superblock
+// commits.
+func (c *Cluster) Disagreements() int {
+	total := 0
+	for _, d := range c.disagreementsByInstance() {
+		total += d
+	}
+	return total
+}
+
+func (c *Cluster) disagreementsByInstance() map[uint64]int {
+	honest := c.HonestMembers()
+	ks := make(map[uint64]bool)
+	for _, id := range honest {
+		for k := range c.slotOutcomes[id] {
+			ks[k] = true
+		}
+	}
+	out := make(map[uint64]int)
+	for k := range ks {
+		perSlot := make(map[types.ReplicaID]map[slotOutcome]bool)
+		for _, id := range honest {
+			for slot, oc := range c.slotOutcomes[id][k] {
+				// 1-decisions whose payload had not arrived yet are
+				// indistinguishable placeholders; skip them rather than
+				// fabricate disagreements.
+				if oc.bit && oc.digest.IsZero() {
+					continue
+				}
+				m, ok := perSlot[slot]
+				if !ok {
+					m = make(map[slotOutcome]bool)
+					perSlot[slot] = m
+				}
+				m[oc] = true
+			}
+		}
+		for _, outcomes := range perSlot {
+			if len(outcomes) > 1 {
+				out[k] += len(outcomes) - 1
+			}
+		}
+	}
+	return out
+}
+
+// DisagreementsByInstance returns, per instance, how many extra distinct
+// slot outcomes honest replicas decided (0 omitted).
+func (c *Cluster) DisagreementsByInstance() map[uint64]int {
+	out := make(map[uint64]int)
+	for k, d := range c.disagreementsByInstance() {
+		if d > 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// AgreedInstances counts instances where every honest replica that
+// committed agreed on the digest.
+func (c *Cluster) AgreedInstances() int {
+	honest := c.HonestMembers()
+	ks := make(map[uint64]bool)
+	for _, id := range honest {
+		for k := range c.Commits[id] {
+			ks[k] = true
+		}
+	}
+	agreed := 0
+	for k := range ks {
+		var ref types.Digest
+		ok := true
+		first := true
+		for _, id := range honest {
+			commit, have := c.Commits[id][k]
+			if !have {
+				continue
+			}
+			d := commit.Decision.Digest()
+			if first {
+				ref = d
+				first = false
+			} else if d != ref {
+				ok = false
+				break
+			}
+		}
+		if ok && !first {
+			agreed++
+		}
+	}
+	return agreed
+}
+
+// DetectionTime returns the earliest honest replica's time to hold PoFs on
+// fd = ⌈n/3⌉ distinct replicas (the paper's "time to detect", Fig. 5
+// left); ok is false if never reached.
+func (c *Cluster) DetectionTime() (time.Duration, bool) {
+	best := time.Duration(0)
+	found := false
+	for _, id := range c.HonestMembers() {
+		r := c.Replicas[id]
+		if r.ThresholdAt > 0 {
+			if !found || r.ThresholdAt < best {
+				best = r.ThresholdAt
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// ExclusionTime and InclusionTime return the first honest replica's
+// membership-change phase durations (Fig. 5 center).
+func (c *Cluster) ExclusionTime() (time.Duration, bool) {
+	for _, id := range c.HonestMembers() {
+		for _, res := range c.ChangeResults[id] {
+			return res.ExcludedAt - res.StartedAt, true
+		}
+	}
+	return 0, false
+}
+
+// InclusionTime returns the duration of the first inclusion consensus.
+func (c *Cluster) InclusionTime() (time.Duration, bool) {
+	for _, id := range c.HonestMembers() {
+		for _, res := range c.ChangeResults[id] {
+			return res.IncludedAt - res.ExcludedAt, true
+		}
+	}
+	return 0, false
+}
+
+// Throughput returns committed claimed-transactions per virtual second,
+// measured at the first honest replica over its committed instances.
+func (c *Cluster) Throughput() float64 {
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		return 0
+	}
+	id := honest[0]
+	var txs int
+	var last time.Duration
+	for _, commit := range c.Commits[id] {
+		txs += commit.Decision.TotalClaimedTx()
+		if commit.At > last {
+			last = commit.At
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return float64(txs) / last.Seconds()
+}
+
+// CommittedInstances returns how many instances the first honest replica
+// committed.
+func (c *Cluster) CommittedInstances() int {
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		return 0
+	}
+	return len(c.Commits[honest[0]])
+}
+
+// ConvergedAgreement reports whether, after recovery, the final committee
+// of every honest replica matches and its deceitful fraction is below
+// 1/3 — the convergence property of Def. 3.
+func (c *Cluster) ConvergedAgreement() bool {
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		return false
+	}
+	ref := c.Replicas[honest[0]].View().Members()
+	for _, id := range honest[1:] {
+		got := c.Replicas[id].View().Members()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	deceitful := 0
+	for _, id := range ref {
+		if c.Coalition.IsDeceitful(id) {
+			deceitful++
+		}
+	}
+	return deceitful < types.FaultThreshold(len(ref))
+}
+
+// CulpritsDetected returns the culprits known to the first honest replica.
+func (c *Cluster) CulpritsDetected() []types.ReplicaID {
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		return nil
+	}
+	return c.Replicas[honest[0]].Log().Culprits()
+}

@@ -1,0 +1,596 @@
+// Package sbc implements the Set Byzantine Consensus of paper Def. 2 via
+// the classic reduction (§2.3): an all-to-all reliable broadcast of n
+// proposals, one binary consensus per proposer slot, and a bitmask —
+// applying the decided bitmask to the proposal array yields the decided
+// superblock. With Accountable set, the underlying protocols sign their
+// votes and the decision carries certificates (Polygraph); with it unset
+// the stack is the non-accountable Red Belly baseline.
+//
+// Once n−t proposals have been reliably delivered, the remaining slots'
+// binary consensuses start with input 0, so a crashed proposer cannot
+// block the instance.
+package sbc
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/bincon"
+	"github.com/zeroloss/zlb/internal/committee"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/rbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// ProposalInfo is one delivered proposal inside a decision.
+type ProposalInfo struct {
+	Broadcaster  types.ReplicaID
+	Payload      []byte
+	Digest       types.Digest
+	ClaimedBytes int
+	ClaimedSigs  int
+}
+
+// Decision is the output of one SBC instance: the bitmask over proposer
+// slots and the proposals selected by it, plus the accountability
+// artifacts needed by the confirmation phase.
+type Decision struct {
+	Instance types.Instance
+	// Bits maps each committee member (at instance start) to its decided
+	// bit.
+	Bits map[types.ReplicaID]bool
+	// Proposals holds the payloads of slots decided 1, keyed by
+	// broadcaster.
+	Proposals map[types.ReplicaID]ProposalInfo
+	// BinCerts holds the binary decision certificates per slot
+	// (accountable mode).
+	BinCerts map[types.ReplicaID]*accountability.Certificate
+	// ReadyCerts holds reliable-broadcast delivery certificates per slot
+	// decided 1 (accountable mode, when available locally).
+	ReadyCerts map[types.ReplicaID]*accountability.Certificate
+	// InitStmts holds the broadcasters' signed proposal statements.
+	InitStmts map[types.ReplicaID]*accountability.Signed
+}
+
+// Digest summarizes the decision: hash over (instance, sorted slots, bit,
+// proposal digest). Two honest replicas disagree on the instance iff
+// their decision digests differ.
+func (d *Decision) Digest() types.Digest {
+	slots := make([]types.ReplicaID, 0, len(d.Bits))
+	for id := range d.Bits {
+		slots = append(slots, id)
+	}
+	types.SortReplicas(slots)
+	buf := make([]byte, 0, 8+len(slots)*(4+1+32))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(d.Instance))
+	buf = append(buf, tmp[:]...)
+	for _, id := range slots {
+		binary.BigEndian.PutUint32(tmp[:4], uint32(id))
+		buf = append(buf, tmp[:4]...)
+		if d.Bits[id] {
+			buf = append(buf, 1)
+			pd := d.Proposals[id].Digest
+			buf = append(buf, pd[:]...)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return types.Hash(buf)
+}
+
+// OrderedProposals returns the selected proposals in ascending broadcaster
+// order — the deterministic superblock order.
+func (d *Decision) OrderedProposals() []ProposalInfo {
+	out := make([]ProposalInfo, 0, len(d.Proposals))
+	for _, p := range d.Proposals {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Broadcaster < out[j].Broadcaster })
+	return out
+}
+
+// TotalClaimedTx sums the modeled transaction counts of selected
+// proposals (throughput accounting).
+func (d *Decision) TotalClaimedTx() int {
+	sum := 0
+	for _, p := range d.Proposals {
+		sum += p.ClaimedSigs
+	}
+	return sum
+}
+
+// ProposalReq asks a peer for a full delivered proposal after the binary
+// consensus decided 1 for a slot we have no payload for.
+type ProposalReq struct {
+	Context  uint8
+	Instance types.Instance
+	Slot     types.ReplicaID
+}
+
+// SimBytes implements simnet.Meter.
+func (m *ProposalReq) SimBytes() int { return 48 }
+
+// SimSigOps implements simnet.Meter.
+func (m *ProposalReq) SimSigOps() int { return 0 }
+
+// ProposalResp answers a ProposalReq with the delivery evidence.
+type ProposalResp struct {
+	Context      uint8
+	Instance     types.Instance
+	Slot         types.ReplicaID
+	Payload      []byte
+	ClaimedBytes int
+	ClaimedSigs  int
+	Cert         *accountability.Certificate
+	InitStmt     *accountability.Signed
+}
+
+// SimBytes implements simnet.Meter.
+func (m *ProposalResp) SimBytes() int {
+	n := len(m.Payload) + 80
+	if m.ClaimedBytes > 0 {
+		n = m.ClaimedBytes + 80
+	}
+	if m.Cert != nil {
+		n += 130 * len(m.Cert.Sigs)
+	}
+	return n
+}
+
+// SimSigOps implements simnet.Meter.
+func (m *ProposalResp) SimSigOps() int {
+	if m.Cert == nil {
+		return 0
+	}
+	return len(m.Cert.Sigs) + 1
+}
+
+// Adversary wires the coalition attacks into the instance's
+// sub-protocols; nil fields are honest.
+type Adversary struct {
+	// RBC is the reliable-broadcast equivocator for this replica's own
+	// proposal slot (the reliable broadcast attack).
+	RBC *rbc.Equivocator
+	// RBCFor returns the equivocator for another broadcaster's slot
+	// (deceitful echoers backing each partition's variant); nil = honest.
+	RBCFor func(slot types.ReplicaID) *rbc.Equivocator
+	// Bin returns a binary-consensus equivocator for a slot; nil = honest
+	// in that slot.
+	Bin func(slot types.ReplicaID) *bincon.Equivocator
+}
+
+// Config parameterizes one SBC instance at one replica.
+type Config struct {
+	Context     uint8
+	Instance    types.Instance
+	Self        types.ReplicaID
+	View        *committee.View
+	Signer      *crypto.Signer
+	Log         *accountability.Log
+	Env         simnet.Env
+	Accountable bool
+	// Validate, if set, rejects invalid proposal payloads before they can
+	// be echoed (SBC-Validity).
+	Validate func(broadcaster types.ReplicaID, payload []byte) bool
+	// CoordTimeout is passed through to the binary consensuses.
+	CoordTimeout func(round types.Round) time.Duration
+	OnDecide     func(*Decision)
+	// OnSlotDecide observes every per-slot binary decision the moment it
+	// becomes final — the granularity the paper's Figure 4 counts
+	// ("disagreeing proposals"). digest is the locally delivered proposal
+	// digest for 1-decisions (zero if the payload has not arrived yet).
+	OnSlotDecide func(slot types.ReplicaID, value bool, digest types.Digest)
+	Adversary    *Adversary
+	// Slots overrides the proposer slot set (default: View members at
+	// creation). The exclusion consensus sets it to the full committee C
+	// so every honest replica runs the same slot set even though their
+	// working views C′ may transiently differ (Alg. 1 lines 20-27).
+	Slots []types.ReplicaID
+}
+
+// Instance is the SBC state machine at one replica.
+type Instance struct {
+	cfg       Config
+	members   []types.ReplicaID // committee snapshot at start
+	rbcs      map[types.ReplicaID]*rbc.Instance
+	bins      map[types.ReplicaID]*bincon.Instance
+	delivered map[types.ReplicaID]rbc.Delivery
+	decidedB  map[types.ReplicaID]bincon.Decision
+	proposed  bool
+	zerosSent bool
+	done      bool
+	decision  *Decision
+	reqSent   map[types.ReplicaID]bool
+}
+
+// New creates an SBC instance. The committee membership is snapshotted at
+// creation: the proposer slots of Γk are fixed even if the view later
+// changes.
+func New(cfg Config) *Instance {
+	slots := cfg.Slots
+	if slots == nil {
+		slots = cfg.View.MembersCopy()
+	} else {
+		slots = append([]types.ReplicaID(nil), slots...)
+		types.SortReplicas(slots)
+	}
+	s := &Instance{
+		cfg:       cfg,
+		members:   slots,
+		rbcs:      make(map[types.ReplicaID]*rbc.Instance),
+		bins:      make(map[types.ReplicaID]*bincon.Instance),
+		delivered: make(map[types.ReplicaID]rbc.Delivery),
+		decidedB:  make(map[types.ReplicaID]bincon.Decision),
+		reqSent:   make(map[types.ReplicaID]bool),
+	}
+	return s
+}
+
+// Members returns the proposer slots of this instance.
+func (s *Instance) Members() []types.ReplicaID { return s.members }
+
+// Done reports completion.
+func (s *Instance) Done() bool { return s.done }
+
+// Decision returns the decision once Done.
+func (s *Instance) Decision() *Decision { return s.decision }
+
+// Progress summarizes the instance state for diagnostics: delivered
+// proposals, decided binary slots, total slots.
+func (s *Instance) Progress() (delivered, decided, total int) {
+	return len(s.delivered), len(s.decidedB), len(s.members)
+}
+
+// DebugSlot returns the binary consensus diagnostic string for a slot.
+func (s *Instance) DebugSlot(slot types.ReplicaID) string {
+	if b, ok := s.bins[slot]; ok {
+		return b.DebugState()
+	}
+	return "no bincon"
+}
+
+// UndecidedSlots lists slots whose binary consensus has not decided
+// (diagnostics).
+func (s *Instance) UndecidedSlots() []types.ReplicaID {
+	var out []types.ReplicaID
+	for _, m := range s.members {
+		if _, ok := s.decidedB[m]; !ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (s *Instance) rbcFor(slot types.ReplicaID) *rbc.Instance {
+	r, ok := s.rbcs[slot]
+	if !ok {
+		var eq *rbc.Equivocator
+		if s.cfg.Adversary != nil {
+			if slot == s.cfg.Self {
+				eq = s.cfg.Adversary.RBC
+			} else if s.cfg.Adversary.RBCFor != nil {
+				eq = s.cfg.Adversary.RBCFor(slot)
+			}
+		}
+		r = rbc.New(rbc.Config{
+			Context:     s.cfg.Context,
+			Instance:    s.cfg.Instance,
+			Broadcaster: slot,
+			Self:        s.cfg.Self,
+			View:        s.cfg.View,
+			Signer:      s.cfg.Signer,
+			Log:         s.cfg.Log,
+			Env:         s.cfg.Env,
+			Accountable: s.cfg.Accountable,
+			Equivocator: eq,
+			OnDeliver:   func(d rbc.Delivery) { s.onDeliver(d) },
+		})
+		s.rbcs[slot] = r
+	}
+	return r
+}
+
+func (s *Instance) binFor(slot types.ReplicaID) *bincon.Instance {
+	b, ok := s.bins[slot]
+	if !ok {
+		var eq *bincon.Equivocator
+		if s.cfg.Adversary != nil && s.cfg.Adversary.Bin != nil {
+			eq = s.cfg.Adversary.Bin(slot)
+		}
+		b = bincon.New(bincon.Config{
+			Context:      s.cfg.Context,
+			Instance:     s.cfg.Instance,
+			Slot:         uint32(slot),
+			Self:         s.cfg.Self,
+			View:         s.cfg.View,
+			Signer:       s.cfg.Signer,
+			Log:          s.cfg.Log,
+			Env:          s.cfg.Env,
+			Accountable:  s.cfg.Accountable,
+			Equivocator:  eq,
+			CoordTimeout: s.cfg.CoordTimeout,
+			OnDecide:     func(d bincon.Decision) { s.onBinDecide(d) },
+		})
+		s.bins[slot] = b
+	}
+	return b
+}
+
+// Propose starts the instance with this replica's proposal payload.
+// claimedBytes/claimedSigs model large batches for the cost model.
+func (s *Instance) Propose(payload []byte, claimedBytes, claimedSigs int) {
+	if s.proposed || s.done {
+		return
+	}
+	s.proposed = true
+	s.rbcFor(s.cfg.Self).Broadcast(payload, claimedBytes, claimedSigs)
+}
+
+func (s *Instance) onDeliver(d rbc.Delivery) {
+	if _, dup := s.delivered[d.Broadcaster]; dup {
+		return
+	}
+	if s.cfg.Validate != nil && !s.cfg.Validate(d.Broadcaster, d.Payload) {
+		return
+	}
+	s.delivered[d.Broadcaster] = d
+	// A delivered proposal votes 1 for its slot.
+	s.binFor(d.Broadcaster).Propose(true)
+	// Once n−t proposals are in (measured against the live view: slots of
+	// excluded replicas never propose), vote 0 for every other slot.
+	if !s.zerosSent && len(s.delivered) >= s.cfg.View.Size()-s.cfg.View.MaxFaults() {
+		s.zerosSent = true
+		for _, slot := range s.members {
+			if _, have := s.delivered[slot]; !have {
+				s.binFor(slot).Propose(false)
+			}
+		}
+	}
+	s.maybeComplete()
+}
+
+func (s *Instance) onBinDecide(d bincon.Decision) {
+	slot := types.ReplicaID(d.Slot)
+	if _, dup := s.decidedB[slot]; dup {
+		return
+	}
+	s.decidedB[slot] = d
+	if s.cfg.OnSlotDecide != nil {
+		var digest types.Digest
+		if del, ok := s.delivered[slot]; ok {
+			digest = del.Digest
+		}
+		s.cfg.OnSlotDecide(slot, d.Value, digest)
+	}
+	s.maybeComplete()
+}
+
+// maybeComplete assembles the decision when every slot's binary consensus
+// has decided and every 1-slot's proposal is locally available.
+func (s *Instance) maybeComplete() {
+	if s.done || len(s.decidedB) < len(s.members) {
+		return
+	}
+	// All bits decided; make sure payloads for 1-bits are present.
+	for _, slot := range s.members {
+		d := s.decidedB[slot]
+		if !d.Value {
+			continue
+		}
+		if _, have := s.delivered[slot]; !have {
+			s.requestProposal(slot)
+			return
+		}
+	}
+	s.done = true
+	dec := &Decision{
+		Instance:   s.cfg.Instance,
+		Bits:       make(map[types.ReplicaID]bool, len(s.members)),
+		Proposals:  make(map[types.ReplicaID]ProposalInfo),
+		BinCerts:   make(map[types.ReplicaID]*accountability.Certificate),
+		ReadyCerts: make(map[types.ReplicaID]*accountability.Certificate),
+		InitStmts:  make(map[types.ReplicaID]*accountability.Signed),
+	}
+	for _, slot := range s.members {
+		bd := s.decidedB[slot]
+		dec.Bits[slot] = bd.Value
+		if bd.Cert != nil {
+			dec.BinCerts[slot] = bd.Cert
+		}
+		if !bd.Value {
+			continue
+		}
+		del := s.delivered[slot]
+		dec.Proposals[slot] = ProposalInfo{
+			Broadcaster:  slot,
+			Payload:      del.Payload,
+			Digest:       del.Digest,
+			ClaimedBytes: del.ClaimedBytes,
+			ClaimedSigs:  del.ClaimedSigs,
+		}
+		if del.Cert != nil {
+			dec.ReadyCerts[slot] = del.Cert
+		}
+		if del.InitStmt != nil {
+			dec.InitStmts[slot] = del.InitStmt
+		}
+	}
+	s.decision = dec
+	if s.cfg.OnDecide != nil {
+		s.cfg.OnDecide(dec)
+	}
+}
+
+// requestProposal pulls a missing payload for a slot decided 1.
+func (s *Instance) requestProposal(slot types.ReplicaID) {
+	if s.reqSent[slot] {
+		return
+	}
+	s.reqSent[slot] = true
+	for _, m := range s.cfg.View.Members() {
+		if m == s.cfg.Self {
+			continue
+		}
+		s.cfg.Env.Send(m, &ProposalReq{Context: s.cfg.Context, Instance: s.cfg.Instance, Slot: slot})
+	}
+}
+
+// OnMessage routes a protocol message to the right sub-instance. It
+// reports whether the message type belonged to this SBC instance.
+func (s *Instance) OnMessage(from types.ReplicaID, msg simnet.Message) bool {
+	switch m := msg.(type) {
+	case *rbc.Init:
+		if m.Stmt.Stmt.Context != s.cfg.Context || m.Stmt.Stmt.Instance != s.cfg.Instance {
+			return false
+		}
+		s.rbcFor(types.ReplicaID(m.Stmt.Stmt.Slot)).OnInit(from, m)
+	case *rbc.Echo:
+		if m.Stmt.Stmt.Context != s.cfg.Context || m.Stmt.Stmt.Instance != s.cfg.Instance {
+			return false
+		}
+		s.rbcFor(types.ReplicaID(m.Stmt.Stmt.Slot)).OnEcho(from, m)
+	case *rbc.Ready:
+		if m.Stmt.Stmt.Context != s.cfg.Context || m.Stmt.Stmt.Instance != s.cfg.Instance {
+			return false
+		}
+		s.rbcFor(types.ReplicaID(m.Stmt.Stmt.Slot)).OnReady(from, m)
+	case *rbc.PayloadReq:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.rbcFor(m.Broadcaster).OnPayloadReq(from, m)
+	case *rbc.PayloadResp:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.rbcFor(m.Broadcaster).OnPayloadResp(from, m)
+	case *bincon.Est:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.binFor(types.ReplicaID(m.Slot)).OnEst(from, m)
+	case *bincon.Coord:
+		if m.Stmt.Stmt.Context != s.cfg.Context || m.Stmt.Stmt.Instance != s.cfg.Instance {
+			return false
+		}
+		s.binFor(types.ReplicaID(m.Stmt.Stmt.Slot)).OnCoord(from, m)
+	case *bincon.Aux:
+		if m.Stmt.Stmt.Context != s.cfg.Context || m.Stmt.Stmt.Instance != s.cfg.Instance {
+			return false
+		}
+		s.binFor(types.ReplicaID(m.Stmt.Stmt.Slot)).OnAux(from, m)
+	case *bincon.Decide:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.binFor(types.ReplicaID(m.Slot)).OnDecide(from, m)
+	case *ProposalReq:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.onProposalReq(from, m)
+	case *ProposalResp:
+		if m.Context != s.cfg.Context || m.Instance != s.cfg.Instance {
+			return false
+		}
+		s.onProposalResp(from, m)
+	default:
+		return false
+	}
+	return true
+}
+
+// OnTimer routes a bincon coordinator timer.
+func (s *Instance) OnTimer(p bincon.TimerPayload) bool {
+	if p.Context != s.cfg.Context || p.Instance != s.cfg.Instance {
+		return false
+	}
+	if b, ok := s.bins[types.ReplicaID(p.Slot)]; ok {
+		b.HandleTimer(p)
+	}
+	return true
+}
+
+func (s *Instance) onProposalReq(from types.ReplicaID, m *ProposalReq) {
+	del, ok := s.delivered[m.Slot]
+	if !ok {
+		return
+	}
+	s.cfg.Env.Send(from, &ProposalResp{
+		Context:      m.Context,
+		Instance:     m.Instance,
+		Slot:         m.Slot,
+		Payload:      del.Payload,
+		ClaimedBytes: del.ClaimedBytes,
+		ClaimedSigs:  del.ClaimedSigs,
+		Cert:         del.Cert,
+		InitStmt:     del.InitStmt,
+	})
+}
+
+func (s *Instance) onProposalResp(_ types.ReplicaID, m *ProposalResp) {
+	if _, dup := s.delivered[m.Slot]; dup {
+		s.maybeComplete()
+		return
+	}
+	d := types.Hash(m.Payload)
+	if s.cfg.Accountable {
+		if m.Cert == nil {
+			return
+		}
+		expect := accountability.Statement{
+			Context:  s.cfg.Context,
+			Kind:     accountability.KindReady,
+			Instance: s.cfg.Instance,
+			Slot:     uint32(m.Slot),
+			Value:    d,
+		}
+		if m.Cert.Stmt != expect {
+			return
+		}
+		// Delivery needs 2t+1 readies; re-verify against committee size.
+		if m.Cert.SignerCount(nil) < 2*types.MaxClassicFaults(len(s.members))+1 {
+			return
+		}
+		valid := true
+		for _, sig := range m.Cert.Sigs {
+			if sig.Stmt != m.Cert.Stmt || !sig.Verify(s.cfg.Signer) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			return
+		}
+		if s.cfg.Log != nil {
+			s.cfg.Log.RecordCertificate(m.Cert)
+		}
+	}
+	if s.cfg.Validate != nil && !s.cfg.Validate(m.Slot, m.Payload) {
+		return
+	}
+	s.delivered[m.Slot] = rbc.Delivery{
+		Broadcaster:  m.Slot,
+		Payload:      m.Payload,
+		Digest:       d,
+		ClaimedBytes: m.ClaimedBytes,
+		ClaimedSigs:  m.ClaimedSigs,
+		Cert:         m.Cert,
+		InitStmt:     m.InitStmt,
+	}
+	s.maybeComplete()
+}
+
+// Reevaluate re-runs quorum checks in every live binary consensus after a
+// committee change.
+func (s *Instance) Reevaluate() {
+	for _, slot := range s.members {
+		if b, ok := s.bins[slot]; ok {
+			b.Reevaluate()
+		}
+	}
+}

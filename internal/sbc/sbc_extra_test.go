@@ -1,0 +1,142 @@
+package sbc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/rbc"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// TestSBCValidateFiltersProposals: proposals rejected by the validity
+// predicate never enter a decision (SBC-Validity).
+func TestSBCValidateFiltersProposals(t *testing.T) {
+	n := 7
+	c := buildCluster(t, n, true, latency.Uniform(2*time.Millisecond, 15*time.Millisecond), 77)
+	// Install a validator on every node that rejects replica 3's payload.
+	for _, id := range c.members {
+		c.nodes[id].inst.cfg.Validate = func(b types.ReplicaID, payload []byte) bool {
+			return !bytes.Contains(payload, []byte("from-3"))
+		}
+	}
+	c.proposeAll(nil)
+	c.net.RunUntilQuiet(10 * time.Minute)
+	for _, id := range c.members {
+		d := c.decided[id]
+		if d == nil {
+			t.Fatalf("replica %v undecided", id)
+		}
+		if d.Bits[3] {
+			t.Fatalf("replica %v included the invalid proposal", id)
+		}
+	}
+}
+
+// TestSBCProposalPull: a replica whose reliable broadcast never delivers
+// (all INIT/ECHO suppressed toward it) still completes the instance by
+// pulling certified proposals after the binary decisions.
+func TestSBCProposalPull(t *testing.T) {
+	n := 7
+	c := buildCluster(t, n, true, latency.Uniform(2*time.Millisecond, 15*time.Millisecond), 78)
+	starved := types.ReplicaID(7)
+	c.net.DropRule = func(from, to types.ReplicaID, msg simnet.Message) bool {
+		if to != starved {
+			return false
+		}
+		switch msg.(type) {
+		case *rbc.Init, *rbc.Echo:
+			return true
+		}
+		return false
+	}
+	c.proposeAll(nil)
+	c.net.RunUntilQuiet(10 * time.Minute)
+	d := c.decided[starved]
+	if d == nil {
+		t.Fatal("starved replica never completed the instance")
+	}
+	ref := c.decided[c.members[0]]
+	if d.Digest() != ref.Digest() {
+		t.Fatal("starved replica decided a different superblock")
+	}
+	// Every 1-slot's payload was obtained (via READY-justified pulls).
+	for slot, bit := range d.Bits {
+		if bit {
+			if _, ok := d.Proposals[slot]; !ok {
+				t.Fatalf("slot %v decided 1 without payload", slot)
+			}
+		}
+	}
+}
+
+func TestSBCDecisionCertificatesCoverAllSlots(t *testing.T) {
+	n := 7
+	c := buildCluster(t, n, true, latency.Uniform(2*time.Millisecond, 15*time.Millisecond), 79)
+	c.proposeAll(nil)
+	c.net.RunUntilQuiet(10 * time.Minute)
+	d := c.decided[c.members[0]]
+	for slot := range d.Bits {
+		cert, ok := d.BinCerts[slot]
+		if !ok || cert == nil {
+			t.Fatalf("slot %v missing binary certificate", slot)
+		}
+		if cert.SignerCount(nil) < types.Quorum(n) {
+			t.Fatalf("slot %v certificate below quorum", slot)
+		}
+	}
+}
+
+func TestSBCNonAccountableHasNoCerts(t *testing.T) {
+	n := 7
+	c := buildCluster(t, n, false, latency.Uniform(2*time.Millisecond, 15*time.Millisecond), 80)
+	c.proposeAll(nil)
+	c.net.RunUntilQuiet(10 * time.Minute)
+	d := c.decided[c.members[0]]
+	if d == nil {
+		t.Fatal("undecided")
+	}
+	for slot, cert := range d.BinCerts {
+		if cert != nil {
+			t.Fatalf("Red Belly mode produced a certificate for slot %v", slot)
+		}
+	}
+}
+
+func TestSBCSlotObserver(t *testing.T) {
+	n := 4
+	c := buildCluster(t, n, true, latency.Uniform(2*time.Millisecond, 15*time.Millisecond), 81)
+	type obs struct {
+		slot  types.ReplicaID
+		value bool
+	}
+	var seen []obs
+	c.nodes[1].inst.cfg.OnSlotDecide = func(slot types.ReplicaID, value bool, _ types.Digest) {
+		seen = append(seen, obs{slot, value})
+	}
+	c.proposeAll(nil)
+	c.net.RunUntilQuiet(10 * time.Minute)
+	if len(seen) != n {
+		t.Fatalf("observed %d slot decisions, want %d", len(seen), n)
+	}
+}
+
+func TestContextInstanceOf(t *testing.T) {
+	est := &Instance{} // just to reference package; real check below
+	_ = est
+	msgs := []simnet.Message{
+		&ProposalReq{Context: 2, Instance: 9},
+		&ProposalResp{Context: 3, Instance: 11},
+	}
+	for _, m := range msgs {
+		ctx, inst, ok := ContextInstanceOf(m)
+		if !ok || ctx == 0 || inst == 0 {
+			t.Fatalf("extraction failed for %T", m)
+		}
+	}
+	if _, _, ok := ContextInstanceOf("not-a-protocol-message"); ok {
+		t.Fatal("non-protocol message extracted")
+	}
+}

@@ -1,0 +1,431 @@
+// Package simnet is a deterministic discrete-event network simulator with
+// virtual time. It stands in for the paper's geo-distributed AWS testbed
+// (§5): protocol nodes are event-driven state machines; the simulator
+// delivers their messages after delays drawn from a latency model
+// (internal/latency) and charges each node modeled CPU time per message
+// sent and received (serialization, bandwidth, signature verification).
+//
+// The CPU model is what reproduces the paper's key empirical phenomenon
+// (Fig. 4): with more replicas each node verifies more signatures per
+// round, rounds stretch, and cross-partition evidence of equivocation has
+// relatively more time to arrive before a disagreement can complete.
+//
+// Runs are reproducible: all scheduling is driven by a seeded RNG and a
+// heap ordered by (virtual time, sequence number).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Message is any protocol message. Messages that implement Meter get
+// accurate cost accounting; others are charged defaults.
+type Message any
+
+// Meter lets a message report its approximate wire size and the number of
+// signature verifications processing it requires, for the CPU cost model.
+type Meter interface {
+	SimBytes() int
+	SimSigOps() int
+}
+
+// Handler is the event-driven interface every simulated node implements.
+// The simulator serializes all calls to one node; handlers need no locks.
+type Handler interface {
+	// OnMessage delivers a message from another node.
+	OnMessage(from types.ReplicaID, msg Message)
+	// OnTimer fires a timer previously set through the Env.
+	OnTimer(payload any)
+}
+
+// TimerID identifies a pending timer so it can be cancelled.
+type TimerID uint64
+
+// Env is the environment the simulator hands each node: its interface for
+// sending, timing and randomness. All methods must be called only from
+// within the node's own OnMessage/OnTimer invocations (or before Run).
+type Env interface {
+	// Self returns the node's own ID.
+	Self() types.ReplicaID
+	// Now returns the current virtual time for this node.
+	Now() time.Duration
+	// Send dispatches msg to the node with the given ID.
+	Send(to types.ReplicaID, msg Message)
+	// SetTimer schedules OnTimer(payload) after d.
+	SetTimer(d time.Duration, payload any) TimerID
+	// CancelTimer cancels a pending timer; unknown IDs are ignored.
+	CancelTimer(id TimerID)
+	// Rand returns this node's seeded RNG.
+	Rand() *rand.Rand
+}
+
+// CostModel charges virtual CPU time for sending and receiving messages.
+// The zero value charges nothing (pure latency simulation).
+type CostModel struct {
+	// RecvBase is charged for every received message.
+	RecvBase time.Duration
+	// RecvPerByte is charged per byte of a received message.
+	RecvPerByte time.Duration
+	// SigVerify is charged per signature carried by a received message.
+	SigVerify time.Duration
+	// SendBase is charged for every sent message.
+	SendBase time.Duration
+	// SendPerByte is charged per byte of a sent message (bandwidth).
+	SendPerByte time.Duration
+}
+
+// DefaultCostModel approximates the paper's c4.xlarge replicas: ECDSA
+// verification ≈ 85 µs, ~1 Gbps effective bandwidth, small fixed handling
+// overheads.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RecvBase:    4 * time.Microsecond,
+		RecvPerByte: 2 * time.Nanosecond,
+		SigVerify:   85 * time.Microsecond,
+		SendBase:    2 * time.Microsecond,
+		SendPerByte: 8 * time.Nanosecond,
+	}
+}
+
+func meterOf(msg Message) (bytes, sigops int) {
+	if m, ok := msg.(Meter); ok {
+		return m.SimBytes(), m.SimSigOps()
+	}
+	return 256, 0
+}
+
+func (c CostModel) recvCost(msg Message) time.Duration {
+	b, s := meterOf(msg)
+	return c.RecvBase + time.Duration(b)*c.RecvPerByte + time.Duration(s)*c.SigVerify
+}
+
+func (c CostModel) sendCost(msg Message) time.Duration {
+	b, _ := meterOf(msg)
+	return c.SendBase + time.Duration(b)*c.SendPerByte
+}
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Latency produces per-message delays. Required.
+	Latency latency.Model
+	// Cost is the CPU cost model; zero value charges nothing.
+	Cost CostModel
+	// Seed makes the run reproducible.
+	Seed int64
+	// MaxEvents aborts a runaway simulation; 0 means a large default.
+	MaxEvents int
+}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+)
+
+type event struct {
+	at      time.Duration
+	seq     uint64
+	kind    eventKind
+	to      types.ReplicaID
+	from    types.ReplicaID
+	msg     Message
+	timerID TimerID
+	payload any
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type nodeState struct {
+	id        types.ReplicaID
+	handler   Handler
+	busyUntil time.Duration
+	now       time.Duration
+	up        bool
+	rng       *rand.Rand
+	net       *Network
+	cancelled map[TimerID]struct{}
+}
+
+// Network is the simulator. Not safe for concurrent use; the entire
+// simulation runs on the caller's goroutine.
+type Network struct {
+	cfg       Config
+	clock     time.Duration
+	pq        eventHeap
+	nodes     map[types.ReplicaID]*nodeState
+	order     []types.ReplicaID // insertion order, for deterministic reporting
+	seq       uint64
+	rng       *rand.Rand
+	nextTimer TimerID
+
+	// Stats
+	Delivered int
+	Dropped   int
+	BytesSent int64
+
+	// Trace, if set, observes every delivery (after processing cost is
+	// charged). Used by the metrics harness.
+	Trace func(at time.Duration, from, to types.ReplicaID, msg Message)
+
+	// DropRule, if set, drops matching messages (benign omission faults,
+	// network partitions with full loss). Return true to drop.
+	DropRule func(from, to types.ReplicaID, msg Message) bool
+}
+
+// New creates a simulated network.
+func New(cfg Config) *Network {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[types.ReplicaID]*nodeState),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// AddNode registers a node. The build function receives the node's Env and
+// returns its Handler; protocols typically capture the Env.
+func (n *Network) AddNode(id types.ReplicaID, build func(Env) Handler) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %v", id))
+	}
+	st := &nodeState{
+		id:        id,
+		up:        true,
+		rng:       rand.New(rand.NewSource(n.cfg.Seed ^ int64(id)<<17 ^ 0x5eed)),
+		net:       n,
+		cancelled: make(map[TimerID]struct{}),
+	}
+	n.nodes[id] = st
+	n.order = append(n.order, id)
+	st.handler = build(st)
+}
+
+// SetUp marks a node up or down. Down nodes neither send nor receive:
+// this models the paper's benign (crashed/mute) replicas.
+func (n *Network) SetUp(id types.ReplicaID, up bool) {
+	if st, ok := n.nodes[id]; ok {
+		st.up = up
+	}
+}
+
+// Now returns the global virtual clock (time of the last processed event).
+func (n *Network) Now() time.Duration { return n.clock }
+
+// NodeIDs returns the nodes in insertion order.
+func (n *Network) NodeIDs() []types.ReplicaID {
+	out := make([]types.ReplicaID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Handler returns the handler registered for id, or nil.
+func (n *Network) Handler(id types.ReplicaID) Handler {
+	if st, ok := n.nodes[id]; ok {
+		return st.handler
+	}
+	return nil
+}
+
+// --- Env implementation (per node) ---
+
+var _ Env = (*nodeState)(nil)
+
+func (s *nodeState) Self() types.ReplicaID { return s.id }
+
+func (s *nodeState) Now() time.Duration { return s.now }
+
+func (s *nodeState) Rand() *rand.Rand { return s.rng }
+
+func (s *nodeState) Send(to types.ReplicaID, msg Message) {
+	if !s.up {
+		return
+	}
+	n := s.net
+	dst, ok := n.nodes[to]
+	if !ok || !dst.up {
+		n.Dropped++
+		return
+	}
+	if n.DropRule != nil && n.DropRule(s.id, to, msg) {
+		n.Dropped++
+		return
+	}
+	// Charge send cost (bandwidth) to the sender serially: broadcasting
+	// to many peers staggers departures.
+	depart := s.busyUntil
+	if depart < s.now {
+		depart = s.now
+	}
+	depart += n.cfg.Cost.sendCost(msg)
+	s.busyUntil = depart
+	bytes, _ := meterOf(msg)
+	n.BytesSent += int64(bytes)
+
+	var delay time.Duration
+	if to == s.id {
+		delay = 0
+	} else {
+		delay = n.cfg.Latency.Delay(s.id, to, n.rng)
+	}
+	n.seq++
+	heap.Push(&n.pq, &event{
+		at:   depart + delay,
+		seq:  n.seq,
+		kind: evDeliver,
+		to:   to,
+		from: s.id,
+		msg:  msg,
+	})
+}
+
+func (s *nodeState) SetTimer(d time.Duration, payload any) TimerID {
+	n := s.net
+	n.nextTimer++
+	id := n.nextTimer
+	n.seq++
+	heap.Push(&n.pq, &event{
+		at:      s.now + d,
+		seq:     n.seq,
+		kind:    evTimer,
+		to:      s.id,
+		timerID: id,
+		payload: payload,
+	})
+	return id
+}
+
+func (s *nodeState) CancelTimer(id TimerID) {
+	if id == 0 {
+		return
+	}
+	s.cancelled[id] = struct{}{}
+}
+
+// --- Run loop ---
+
+// Step processes the next event. It returns false when the queue is empty
+// or the event budget is exhausted.
+func (n *Network) Step() bool {
+	for n.pq.Len() > 0 {
+		if n.Delivered >= n.cfg.MaxEvents {
+			return false
+		}
+		ev := heap.Pop(&n.pq).(*event)
+		st, ok := n.nodes[ev.to]
+		if !ok || !st.up {
+			n.Dropped++
+			continue
+		}
+		if ev.kind == evTimer {
+			if _, cancelled := st.cancelled[ev.timerID]; cancelled {
+				delete(st.cancelled, ev.timerID)
+				continue
+			}
+		}
+		start := ev.at
+		if st.busyUntil > start {
+			start = st.busyUntil
+		}
+		switch ev.kind {
+		case evDeliver:
+			done := start + n.cfg.Cost.recvCost(ev.msg)
+			st.busyUntil = done
+			st.now = done
+			if done > n.clock {
+				n.clock = done
+			}
+			n.Delivered++
+			st.handler.OnMessage(ev.from, ev.msg)
+			if n.Trace != nil {
+				n.Trace(done, ev.from, ev.to, ev.msg)
+			}
+		case evTimer:
+			st.busyUntil = start
+			st.now = start
+			if start > n.clock {
+				n.clock = start
+			}
+			n.Delivered++
+			st.handler.OnTimer(ev.payload)
+		}
+		return true
+	}
+	return false
+}
+
+// Run processes events until the virtual clock passes the deadline or the
+// queue drains. It returns the number of events processed.
+func (n *Network) Run(until time.Duration) int {
+	processed := 0
+	for n.pq.Len() > 0 {
+		if next := n.pq[0].at; next > until {
+			break
+		}
+		if !n.Step() {
+			break
+		}
+		processed++
+	}
+	if n.clock < until {
+		n.clock = until
+	}
+	return processed
+}
+
+// RunUntilQuiet processes events until no events remain or maxTime is
+// reached. It returns the number of events processed.
+func (n *Network) RunUntilQuiet(maxTime time.Duration) int {
+	processed := 0
+	for n.pq.Len() > 0 && n.pq[0].at <= maxTime {
+		if !n.Step() {
+			break
+		}
+		processed++
+	}
+	return processed
+}
+
+// Pending reports how many events are queued.
+func (n *Network) Pending() int { return n.pq.Len() }
+
+// Inject delivers a message to a node from an external source (e.g., a
+// client submitting a transaction) at the current clock plus the given
+// delay. The from ID does not need to be a registered node.
+func (n *Network) Inject(from, to types.ReplicaID, msg Message, after time.Duration) {
+	n.seq++
+	heap.Push(&n.pq, &event{
+		at:   n.clock + after,
+		seq:  n.seq,
+		kind: evDeliver,
+		to:   to,
+		from: from,
+		msg:  msg,
+	})
+}

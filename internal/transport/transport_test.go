@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// echoHandler counts messages and echoes pings back to the sender.
+type echoHandler struct {
+	node *Node
+	mu   sync.Mutex
+	got  []string
+}
+
+type ping struct{ Text string }
+type pong struct{ Text string }
+
+func (h *echoHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *ping:
+		h.node.Send(from, &pong{Text: m.Text})
+	case *pong:
+		h.mu.Lock()
+		h.got = append(h.got, m.Text)
+		h.mu.Unlock()
+	}
+}
+
+func (h *echoHandler) OnTimer(payload any) {
+	h.mu.Lock()
+	h.got = append(h.got, fmt.Sprintf("timer:%v", payload))
+	h.mu.Unlock()
+}
+
+func (h *echoHandler) snapshot() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.got...)
+}
+
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 2)
+	peers := map[types.ReplicaID]string{1: addrs[0], 2: addrs[1]}
+
+	nodes := make([]*Node, 2)
+	handlers := make([]*echoHandler, 2)
+	for i := range nodes {
+		n := NewNode(Config{Self: types.ReplicaID(i + 1), Listen: addrs[i], Peers: peers})
+		h := &echoHandler{node: n}
+		n.SetHandler(h)
+		nodes[i] = n
+		handlers[i] = h
+		go func() { _ = n.Serve() }()
+	}
+	defer nodes[0].Close()
+	defer nodes[1].Close()
+	time.Sleep(50 * time.Millisecond) // listeners up
+
+	nodes[0].Do(func() { nodes[0].Send(2, &ping{Text: "hello"}) })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := handlers[0].snapshot(); len(got) == 1 && got[0] == "hello" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("round trip failed: %v", handlers[0].snapshot())
+}
+
+func TestTCPTimer(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 1)
+	n := NewNode(Config{Self: 1, Listen: addrs[0], Peers: map[types.ReplicaID]string{}})
+	h := &echoHandler{node: n}
+	n.SetHandler(h)
+	go func() { _ = n.Serve() }()
+	defer n.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	n.SetTimer(30*time.Millisecond, "fire")
+	cancelled := n.SetTimer(30*time.Millisecond, "cancelled")
+	n.CancelTimer(cancelled)
+
+	time.Sleep(300 * time.Millisecond)
+	got := h.snapshot()
+	if len(got) != 1 || got[0] != "timer:fire" {
+		t.Fatalf("timer events = %v, want [timer:fire]", got)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 1)
+	n := NewNode(Config{Self: 1, Listen: addrs[0], Peers: map[types.ReplicaID]string{}})
+	h := &echoHandler{node: n}
+	n.SetHandler(h)
+	go func() { _ = n.Serve() }()
+	defer n.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	// Self-ping loops back through the queue: the handler replies to
+	// itself with a pong.
+	n.Do(func() { n.Send(1, &ping{Text: "self"}) })
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := h.snapshot(); len(got) == 1 && got[0] == "self" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("self send failed: %v", h.snapshot())
+}
+
+var registerOnce sync.Once
+
+// registerTestTypes registers the test-only ping/pong frames exactly once
+// (gob.Register panics on duplicates).
+func registerTestTypes() {
+	registerOnce.Do(func() {
+		gob.Register(&ping{})
+		gob.Register(&pong{})
+	})
+}

@@ -1,0 +1,141 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholds(t *testing.T) {
+	cases := []struct {
+		n, quorum, fd, maxFaults int
+	}{
+		{4, 3, 2, 1},
+		{7, 5, 3, 2},
+		{9, 6, 3, 2},
+		{10, 7, 4, 3},
+		{90, 60, 30, 29},
+		{100, 67, 34, 33},
+	}
+	for _, c := range cases {
+		if got := Quorum(c.n); got != c.quorum {
+			t.Errorf("Quorum(%d) = %d, want %d", c.n, got, c.quorum)
+		}
+		if got := FaultThreshold(c.n); got != c.fd {
+			t.Errorf("FaultThreshold(%d) = %d, want %d", c.n, got, c.fd)
+		}
+		if got := MaxClassicFaults(c.n); got != c.maxFaults {
+			t.Errorf("MaxClassicFaults(%d) = %d, want %d", c.n, got, c.maxFaults)
+		}
+	}
+}
+
+// Property: two quorums intersect in at least FaultThreshold replicas —
+// the accountability core (paper §2.3: conflicting certificates expose
+// ≥ n/3 equivocators).
+func TestQuorumIntersectionProperty(t *testing.T) {
+	f := func(nSeed uint8) bool {
+		n := 4 + int(nSeed%200)
+		q := Quorum(n)
+		intersection := 2*q - n
+		return intersection >= FaultThreshold(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an honest majority of any quorum survives f < n/3 faults:
+// quorum ≤ n − maxFaults (liveness).
+func TestQuorumReachableProperty(t *testing.T) {
+	f := func(nSeed uint8) bool {
+		n := 4 + int(nSeed%200)
+		return Quorum(n) <= n-MaxClassicFaults(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashConcatFraming(t *testing.T) {
+	a := HashConcat([]byte("ab"), []byte("c"))
+	b := HashConcat([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("length framing broken: boundary shift collides")
+	}
+	if HashConcat([]byte("x")) == HashConcat([]byte("x"), nil) {
+		t.Fatal("empty trailing part should change the digest")
+	}
+}
+
+func TestDigestLessTotalOrder(t *testing.T) {
+	a := Hash([]byte("a"))
+	b := Hash([]byte("b"))
+	if a.Less(b) == b.Less(a) {
+		t.Fatal("Less is not antisymmetric")
+	}
+	if a.Less(a) {
+		t.Fatal("Less is not irreflexive")
+	}
+}
+
+func TestReplicaSetBasics(t *testing.T) {
+	s := NewReplicaSet(3, 1, 2, 2)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (dedup)", s.Len())
+	}
+	if !s.Contains(2) || s.Contains(9) {
+		t.Fatal("membership wrong")
+	}
+	if s.Add(1) {
+		t.Fatal("re-add reported as new")
+	}
+	if !s.Add(9) {
+		t.Fatal("new add not reported")
+	}
+	if !s.Remove(9) || s.Remove(9) {
+		t.Fatal("remove semantics wrong")
+	}
+	got := s.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestReplicaSetCloneIndependence(t *testing.T) {
+	s := NewReplicaSet(1, 2)
+	c := s.Clone()
+	s.Add(3)
+	if c.Contains(3) {
+		t.Fatal("clone shares state")
+	}
+	c.Union(NewReplicaSet(7))
+	if s.Contains(7) {
+		t.Fatal("union mutated the original")
+	}
+}
+
+func TestSortReplicas(t *testing.T) {
+	ids := []ReplicaID{5, 1, 3}
+	SortReplicas(ids)
+	if ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("sorted = %v", ids)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ReplicaID(7).String() != "r7" {
+		t.Fatal("ReplicaID stringer")
+	}
+	if Instance(3).String() != "Γ3" {
+		t.Fatal("Instance stringer")
+	}
+	d := Hash([]byte("x"))
+	if len(d.String()) != 8 || len(d.Hex()) != 64 {
+		t.Fatal("digest stringers")
+	}
+	if !ZeroDigest.IsZero() || d.IsZero() {
+		t.Fatal("IsZero")
+	}
+}

@@ -1,0 +1,546 @@
+// Package zlb is the public API of the Zero-Loss Blockchain, a
+// reproduction of "ZLB: A Blockchain to Tolerate Colluding Majorities"
+// (Ranchal-Pedrosa & Gramoli, DSN 2024): the first blockchain tolerating
+// an adversary that controls more than half of the replicas under partial
+// synchrony.
+//
+// ZLB combines an accountable state machine replication (every consensus
+// vote is a signed statement; disagreements yield transferable proofs of
+// fraud), a membership change that excludes provably deceitful replicas
+// and includes standbys from a pool, and a blockchain manager that merges
+// the branches of a fork instead of discarding one — funding conflicting
+// transactions out of the slashed deposits so that no honest account
+// loses a coin.
+//
+// The package offers an in-process simulated deployment (NewCluster) for
+// experimentation and testing. Protocol internals live under internal/:
+// the accountable SBC stack (rbc, bincon, sbc), accountability
+// (statements, certificates, PoFs), the ASMR orchestration, the UTXO
+// ledger and the block-merge logic, as well as the baselines (HotStuff,
+// Red Belly and Polygraph modes) used by the paper's evaluation.
+//
+// Quickstart:
+//
+//	cluster, _ := zlb.NewCluster(zlb.Config{N: 7, InitialFunds: map[zlb.Address]zlb.Amount{...}})
+//	wallet := cluster.WalletFor(0) // pre-funded test wallet
+//	tx, _ := cluster.Pay(wallet, recipient, 100)
+//	cluster.Submit(tx)
+//	cluster.Run(30 * time.Second) // virtual time
+//	fmt.Println(cluster.Balance(recipient))
+package zlb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/asmr"
+	"github.com/zeroloss/zlb/internal/bm"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/harness"
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/payment"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+// Re-exported primitive types, so applications only import this package.
+type (
+	// Address identifies a payment account (hash of its public key).
+	Address = utxo.Address
+	// Amount is a coin amount.
+	Amount = types.Amount
+	// Transaction is a Bitcoin-style UTXO transaction.
+	Transaction = utxo.Transaction
+	// Wallet signs transactions for one key pair.
+	Wallet = utxo.Wallet
+	// ReplicaID identifies a consensus replica.
+	ReplicaID = types.ReplicaID
+	// PoF is an undeniable proof of fraud against a deceitful replica.
+	PoF = accountability.PoF
+)
+
+// Attack selects a coalition attack for adversarial experiments.
+type Attack int
+
+// Attacks available to Config.
+const (
+	// NoAttack runs every replica honestly.
+	NoAttack Attack = iota
+	// BinaryConsensusAttack splits binary votes across partitions (§B).
+	BinaryConsensusAttack
+	// ReliableBroadcastAttack sends different proposals to different
+	// partitions (§B).
+	ReliableBroadcastAttack
+)
+
+// Config parameterizes an in-process ZLB deployment.
+type Config struct {
+	// N is the committee size (required, ≥ 4).
+	N int
+	// PoolSize is the number of standby candidate replicas (default N).
+	PoolSize int
+	// InitialFunds seeds the genesis block. WalletCount pre-funded test
+	// wallets are created in addition (each with WalletFunds coins).
+	InitialFunds map[Address]Amount
+	// WalletCount pre-funds this many test wallets (default 3).
+	WalletCount int
+	// WalletFunds is each test wallet's genesis balance (default 1e6).
+	WalletFunds Amount
+	// GainBound is G, the per-block double-spend bound used to size
+	// deposits (default: total genesis funds).
+	GainBound Amount
+	// DepositFactor is b in D = b·G (default 0.1, the paper's Fig. 6).
+	DepositFactor float64
+	// FinalizationDepth is m, the blockdepth before deposits return
+	// (default: derived from DepositFactor for ρ = 0.55 per §B).
+	FinalizationDepth int
+	// MaxBlocks bounds the chain length for bounded runs (default 32).
+	MaxBlocks uint64
+	// Seed drives all randomness (default 1).
+	Seed int64
+
+	// Deceitful makes the first `Deceitful` replicas a coalition running
+	// the configured Attack.
+	Deceitful int
+	Attack    Attack
+	// PartitionDelayMs injects the given mean delay (uniform) between
+	// honest partitions while the attack runs (default 3000 when an
+	// attack is configured).
+	PartitionDelayMs int
+
+	// OnBlock, if set, observes every committed block at replica 1.
+	OnBlock func(k uint64, txs int)
+	// OnFraud, if set, observes each proven deceitful replica (replica
+	// 1's view).
+	OnFraud func(culprit ReplicaID)
+	// OnMembershipChange observes completed membership changes.
+	OnMembershipChange func(excluded, included []ReplicaID)
+}
+
+// Errors returned by the public API.
+var (
+	ErrBadConfig       = errors.New("zlb: invalid configuration")
+	ErrUnknownWallet   = errors.New("zlb: unknown wallet index")
+	ErrInsufficient    = errors.New("zlb: insufficient funds")
+	ErrClusterFinished = errors.New("zlb: cluster reached MaxBlocks")
+)
+
+// Cluster is an in-process simulated ZLB deployment: n replicas over the
+// discrete-event network, each running the full stack (accountable SMR,
+// blockchain manager, zero-loss payments).
+type Cluster struct {
+	cfg     Config
+	inner   *harness.Cluster
+	nodes   map[ReplicaID]*node
+	wallets []*Wallet
+	scheme  crypto.Scheme
+	genesis map[Address]Amount
+	stake   Amount
+}
+
+// node is the per-replica application state: mempool + ledger.
+type node struct {
+	id      ReplicaID
+	ledger  *bm.Ledger
+	mempool []*Transaction
+	inPool  map[types.Digest]bool
+	stakes  map[ReplicaID]Amount
+}
+
+// NewCluster builds and wires the deployment. The virtual clock starts at
+// zero; call Run to advance it.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("%w: N must be at least 4, got %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.WalletCount == 0 {
+		cfg.WalletCount = 3
+	}
+	if cfg.WalletFunds == 0 {
+		cfg.WalletFunds = 1_000_000
+	}
+	if cfg.DepositFactor == 0 {
+		cfg.DepositFactor = 0.1
+	}
+	if cfg.MaxBlocks == 0 {
+		cfg.MaxBlocks = 32
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Attack != NoAttack && cfg.PartitionDelayMs == 0 {
+		cfg.PartitionDelayMs = 3000
+	}
+
+	c := &Cluster{cfg: cfg, nodes: make(map[ReplicaID]*node)}
+
+	// Payment-side PKI for wallets (separate from the replica PKI).
+	reg := crypto.NewRegistry(crypto.SchemeEd25519)
+	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	if err != nil {
+		return nil, err
+	}
+	c.scheme = scheme
+	rand := crypto.NewDeterministicRand(cfg.Seed ^ 0x77a11e7)
+	c.genesis = make(map[Address]Amount, len(cfg.InitialFunds)+cfg.WalletCount)
+	for a, v := range cfg.InitialFunds {
+		c.genesis[a] = v
+	}
+	for i := 0; i < cfg.WalletCount; i++ {
+		kp, err := scheme.GenerateKey(rand)
+		if err != nil {
+			return nil, err
+		}
+		w := utxo.NewWallet(kp, scheme)
+		c.wallets = append(c.wallets, w)
+		c.genesis[w.Address()] += cfg.WalletFunds
+	}
+	if cfg.GainBound == 0 {
+		for _, v := range c.genesis {
+			cfg.GainBound += v
+		}
+		c.cfg.GainBound = cfg.GainBound
+	}
+	c.stake = payment.PerReplicaDeposit(cfg.N, cfg.DepositFactor, cfg.GainBound)
+
+	var attack adversary.Attack
+	switch cfg.Attack {
+	case NoAttack:
+		attack = adversary.AttackNone
+	case BinaryConsensusAttack:
+		attack = adversary.AttackBinary
+	case ReliableBroadcastAttack:
+		attack = adversary.AttackRBCast
+	default:
+		return nil, fmt.Errorf("%w: unknown attack %d", ErrBadConfig, int(cfg.Attack))
+	}
+	var partDelay latency.Model
+	if cfg.PartitionDelayMs > 0 && cfg.Deceitful > 0 {
+		partDelay = latency.UniformMean(time.Duration(cfg.PartitionDelayMs) * time.Millisecond)
+	}
+
+	inner, err := harness.New(harness.Options{
+		N:              cfg.N,
+		PoolSize:       cfg.PoolSize,
+		Deceitful:      cfg.Deceitful,
+		Attack:         attack,
+		Accountable:    true,
+		Recover:        true,
+		MaxInstances:   cfg.MaxBlocks,
+		BaseLatency:    latency.Uniform(5*time.Millisecond, 30*time.Millisecond),
+		PartitionDelay: partDelay,
+		Seed:           cfg.Seed,
+		WaitForWork:    true,
+		CoordTimeout: func(r types.Round) time.Duration {
+			return 150 * time.Millisecond * time.Duration(r+1)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.inner = inner
+
+	// Wire the payment application into every replica (committee + pool).
+	all := append(append([]ReplicaID{}, inner.Members...), inner.PoolIDs...)
+	for _, id := range all {
+		c.nodes[id] = c.newNode(id)
+	}
+	return c, nil
+}
+
+func (c *Cluster) newNode(id ReplicaID) *node {
+	n := &node{
+		id:     id,
+		ledger: bm.NewLedger(c.scheme),
+		inPool: make(map[types.Digest]bool),
+		stakes: make(map[ReplicaID]Amount),
+	}
+	n.ledger.Genesis(c.genesis)
+	// Replicas stake their deposits up front (§B assumption 2): the pool
+	// is available the moment a merge needs to fund a conflicting input.
+	for _, m := range c.inner.Members {
+		n.stakes[m] = c.stake
+		n.ledger.AddDeposit(c.stake)
+	}
+	r := c.inner.Replicas[id]
+	// The replica is already built by the harness; the app layer hooks in
+	// through the cluster-level callbacks below (see Run loop handlers).
+	_ = r
+	return n
+}
+
+// observer returns the replica whose view the read accessors report: the
+// first honest committee member (replica 1 may be deceitful in attack
+// configurations).
+func (c *Cluster) observer() ReplicaID {
+	honest := c.inner.HonestMembers()
+	if len(honest) > 0 {
+		return honest[0]
+	}
+	return c.inner.Members[0]
+}
+
+// WalletFor returns the i-th pre-funded test wallet.
+func (c *Cluster) WalletFor(i int) (*Wallet, error) {
+	if i < 0 || i >= len(c.wallets) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrUnknownWallet, i, len(c.wallets))
+	}
+	return c.wallets[i], nil
+}
+
+// NewWallet creates and funds a fresh wallet only usable before Run.
+func (c *Cluster) NewWallet(funds Amount) (*Wallet, error) {
+	kp, err := c.scheme.GenerateKey(crypto.NewDeterministicRand(int64(len(c.wallets)) + 7777))
+	if err != nil {
+		return nil, err
+	}
+	w := utxo.NewWallet(kp, c.scheme)
+	c.wallets = append(c.wallets, w)
+	c.genesis[w.Address()] += funds
+	for _, n := range c.nodes {
+		n.ledger = bm.NewLedger(c.scheme)
+		n.ledger.Genesis(c.genesis)
+	}
+	return w, nil
+}
+
+// Pay builds a signed payment from the wallet against an honest
+// replica's current ledger state.
+func (c *Cluster) Pay(w *Wallet, to Address, amount Amount) (*Transaction, error) {
+	ledger := c.nodes[c.observer()].ledger
+	inputs, err := ledger.Table().InputsFor(w.Address(), amount)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInsufficient, err)
+	}
+	return w.Pay(inputs, []utxo.Output{{Account: to, Value: amount}})
+}
+
+// Submit places a transaction in every replica's mempool (clients
+// broadcast requests to all replicas, §4.2) and wakes replicas that were
+// waiting for work.
+func (c *Cluster) Submit(tx *Transaction) {
+	id := tx.ID()
+	for _, n := range c.nodes {
+		if !n.inPool[id] {
+			n.inPool[id] = true
+			n.mempool = append(n.mempool, tx)
+		}
+	}
+	for _, id := range c.inner.Members {
+		c.inner.Replicas[id].Kick()
+	}
+}
+
+// EncodeBatch serializes transactions into a consensus proposal payload.
+func EncodeBatch(txs []*Transaction) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(txs); err != nil {
+		return nil, fmt.Errorf("zlb: encode batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBatch parses a consensus proposal payload.
+func DecodeBatch(payload []byte) ([]*Transaction, error) {
+	var txs []*Transaction
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&txs); err != nil {
+		return nil, fmt.Errorf("zlb: decode batch: %w", err)
+	}
+	return txs, nil
+}
+
+// Start wires the application callbacks and launches consensus. It must
+// be called exactly once, before Run.
+func (c *Cluster) Start() {
+	for id, n := range c.nodes {
+		id := id
+		n := n
+		r := c.inner.Replicas[id]
+		c.bindNode(r, n)
+	}
+	c.inner.Start()
+}
+
+func (c *Cluster) bindNode(r *asmr.Replica, n *node) {
+	// The harness built the replica with its own BatchSource/OnCommit;
+	// rebind them to the payment application.
+	cfg := c.harnessConfigFor(n)
+	r.Rebind(cfg)
+}
+
+// harnessConfigFor builds the application bindings for one node.
+func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
+	return asmr.AppBindings{
+		BatchSource: func(k uint64) asmr.Batch {
+			// Take up to 2000 pending transactions; an empty mempool
+			// defers the instance (Fig. 2: instances start only when
+			// requests are enqueued).
+			take := len(n.mempool)
+			if take == 0 {
+				return asmr.Batch{}
+			}
+			if take > 2000 {
+				take = 2000
+			}
+			txs := n.mempool[:take]
+			payload, err := EncodeBatch(txs)
+			if err != nil {
+				return asmr.Batch{}
+			}
+			// A deceitful proposer re-binds its attack payloads (the
+			// reliable broadcast attack forks the proposal itself).
+			if adv, ok := c.inner.Adversaries[n.id]; ok && c.cfg.Attack == ReliableBroadcastAttack {
+				c.inner.Coalition.BindRBCastPayload(n.id, adv, payload)
+			}
+			return asmr.Batch{Payload: payload, ClaimedSigs: len(txs)}
+		},
+		OnCommit: func(k uint64, _ uint32, d *sbc.Decision) {
+			block := c.blockFrom(k, d)
+			applied := n.ledger.CommitBlock(block)
+			_ = applied
+			n.pruneMempool(block)
+			if n.id == c.observer() && c.cfg.OnBlock != nil {
+				c.cfg.OnBlock(k, len(block.Txs))
+			}
+		},
+		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
+			// Reconciliation (phase ⑤): merge the conflicting branch.
+			block := c.blockFrom(k, remote)
+			n.ledger.MergeBlock(block)
+			n.pruneMempool(block)
+		},
+		OnPoF: func(p PoF) {
+			if n.id == c.observer() && c.cfg.OnFraud != nil {
+				c.cfg.OnFraud(p.Culprit)
+			}
+		},
+		OnMembershipChange: func(res *membership.Result) {
+			// The excluded replicas forfeit their stakes (the application
+			// punishment of Alg. 1 line 38); the coins were pooled at
+			// staking time, so only the bookkeeping moves. New members
+			// stake in.
+			for _, ex := range res.Excluded {
+				n.stakes[ex] = 0
+			}
+			for _, in := range res.Included {
+				n.stakes[in] = c.stake
+				n.ledger.AddDeposit(c.stake)
+			}
+			if n.id == c.observer() && c.cfg.OnMembershipChange != nil {
+				c.cfg.OnMembershipChange(res.Excluded, res.Included)
+			}
+		},
+	}
+}
+
+// blockFrom assembles the application block of a decision: the union of
+// all decided proposals' transactions in deterministic order (§4.1 ⑤).
+func (c *Cluster) blockFrom(k uint64, d *sbc.Decision) *bm.Block {
+	var txs []*Transaction
+	seen := make(map[types.Digest]bool)
+	for _, p := range d.OrderedProposals() {
+		batch, err := DecodeBatch(p.Payload)
+		if err != nil {
+			continue
+		}
+		for _, tx := range batch {
+			id := tx.ID()
+			if !seen[id] {
+				seen[id] = true
+				txs = append(txs, tx)
+			}
+		}
+	}
+	return bm.NewBlock(k, txs)
+}
+
+func (n *node) pruneMempool(b *bm.Block) {
+	if len(b.Txs) == 0 {
+		return
+	}
+	gone := make(map[types.Digest]bool, len(b.Txs))
+	for _, tx := range b.Txs {
+		gone[tx.ID()] = true
+	}
+	kept := n.mempool[:0]
+	for _, tx := range n.mempool {
+		if !gone[tx.ID()] {
+			kept = append(kept, tx)
+		}
+	}
+	n.mempool = kept
+}
+
+// Run advances the virtual clock by d, processing all due events.
+func (c *Cluster) Run(d time.Duration) {
+	c.inner.Net.Run(c.inner.Net.Now() + d)
+}
+
+// RunUntilQuiet drains all pending events up to the virtual deadline.
+func (c *Cluster) RunUntilQuiet(max time.Duration) { c.inner.RunUntilQuiet(max) }
+
+// Now returns the virtual time.
+func (c *Cluster) Now() time.Duration { return c.inner.Net.Now() }
+
+// Balance reads an account balance at the first honest replica.
+func (c *Cluster) Balance(addr Address) Amount {
+	return c.nodes[c.observer()].ledger.Table().Balance(addr)
+}
+
+// BalanceAt reads an account balance at a specific replica.
+func (c *Cluster) BalanceAt(id ReplicaID, addr Address) Amount {
+	n, ok := c.nodes[id]
+	if !ok {
+		return 0
+	}
+	return n.ledger.Table().Balance(addr)
+}
+
+// Height returns the number of blocks committed at the first honest
+// replica.
+func (c *Cluster) Height() int {
+	return c.inner.Replicas[c.observer()].CommittedCount()
+}
+
+// Deposit returns the slashed-deposit pool at the first honest replica.
+func (c *Cluster) Deposit() Amount {
+	return c.nodes[c.observer()].ledger.Deposit()
+}
+
+// Members returns the current committee at the first honest replica.
+func (c *Cluster) Members() []ReplicaID {
+	return c.inner.Replicas[c.observer()].View().MembersCopy()
+}
+
+// Culprits returns the proven-deceitful replicas known to the first
+// honest replica.
+func (c *Cluster) Culprits() []ReplicaID {
+	return c.inner.Replicas[c.observer()].Log().Culprits()
+}
+
+// Disagreements returns the cumulative disagreement count (Fig. 4 metric).
+func (c *Cluster) Disagreements() int { return c.inner.Disagreements() }
+
+// Converged reports Def. 3's convergence: all honest replicas share a
+// committee whose deceitful fraction is below 1/3.
+func (c *Cluster) Converged() bool { return c.inner.ConvergedAgreement() }
+
+// PerReplicaStake returns the deposit each replica posts (3·b·G/n, §B).
+func (c *Cluster) PerReplicaStake() Amount { return c.stake }
+
+// MinFinalizationDepth computes Theorem .5's minimum blockdepth for the
+// cluster's deposit factor and an observed attack success probability.
+func (c *Cluster) MinFinalizationDepth(rho float64) (int, error) {
+	branches := payment.MaxBranchesCount(c.cfg.N, c.cfg.Deceitful)
+	if branches < 2 {
+		branches = 2
+	}
+	return payment.MinDepth(branches, c.cfg.DepositFactor, rho)
+}

@@ -1,0 +1,152 @@
+package zlb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZeroLossUnderRBCastAttack mirrors TestZeroLossUnderAttack for the
+// reliable broadcast attack: the coalition forks the proposal itself
+// (conflicting batches per partition); merging funds the difference.
+func TestZeroLossUnderRBCastAttack(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:                9,
+		Deceitful:        4,
+		Attack:           ReliableBroadcastAttack,
+		PartitionDelayMs: 3000,
+		Seed:             7,
+		MaxBlocks:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	carol, _ := c.WalletFor(2)
+	c.Start()
+	// An explicit double spend: both txs consume the same inputs.
+	tx1, err := c.Pay(alice, bob.Address(), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx1)
+	tx2, err := c.Pay(alice, carol.Address(), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx2)
+	c.RunUntilQuiet(60 * time.Minute)
+
+	if !c.Converged() {
+		t.Fatal("no convergence after rbcast attack")
+	}
+	for _, id := range c.Members() {
+		if uint32(id) <= 4 {
+			t.Fatalf("deceitful replica %v survived in committee", id)
+		}
+	}
+	// Zero loss: every recipient of a committed payment keeps it. At
+	// minimum nobody is below their genesis balance minus what they
+	// willingly spent.
+	if got := c.Balance(bob.Address()); got < 1_000_000 {
+		t.Fatalf("bob lost funds: %d", got)
+	}
+	if got := c.Balance(carol.Address()); got < 1_000_000 {
+		t.Fatalf("carol lost funds: %d", got)
+	}
+	bobGain := c.Balance(bob.Address()) - 1_000_000
+	carolGain := c.Balance(carol.Address()) - 1_000_000
+	if bobGain == 0 && carolGain == 0 {
+		t.Fatal("neither payment committed")
+	}
+}
+
+func TestHonestReplicasShareLedgersAfterAttack(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:                9,
+		Deceitful:        4,
+		Attack:           BinaryConsensusAttack,
+		PartitionDelayMs: 3000,
+		Seed:             3,
+		MaxBlocks:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	c.Start()
+	tx, err := c.Pay(alice, bob.Address(), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx)
+	c.RunUntilQuiet(60 * time.Minute)
+
+	// After reconciliation, every original honest replica that saw the
+	// payment agrees on bob's balance.
+	want := c.Balance(bob.Address())
+	for _, id := range c.inner.HonestMembers() {
+		if got := c.BalanceAt(id, bob.Address()); got != want {
+			t.Fatalf("replica %v sees bob=%d, observer sees %d", id, got, want)
+		}
+	}
+}
+
+func TestNewWalletPreFundsGenesis(t *testing.T) {
+	c, err := NewCluster(Config{N: 4, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.NewWallet(42_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Balance(w.Address()); got != 42_000 {
+		t.Fatalf("fresh wallet balance %d, want 42000", got)
+	}
+}
+
+func TestPayInsufficientFunds(t *testing.T) {
+	c, err := NewCluster(Config{N: 4, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	if _, err := c.Pay(alice, bob.Address(), 10_000_000); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+}
+
+func TestDepositPoolStakedUpFront(t *testing.T) {
+	c, err := NewCluster(Config{N: 9, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.PerReplicaStake() * Amount(9)
+	if got := c.Deposit(); got != want {
+		t.Fatalf("deposit pool %d, want %d (n × per-replica stake)", got, want)
+	}
+}
+
+func TestSubmitIdempotent(t *testing.T) {
+	c, err := NewCluster(Config{N: 4, Seed: 22, MaxBlocks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	c.Start()
+	tx, err := c.Pay(alice, bob.Address(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx)
+	c.Submit(tx) // duplicate
+	c.Submit(tx)
+	c.RunUntilQuiet(10 * time.Minute)
+	if got := c.Balance(bob.Address()); got != 1_000_100 {
+		t.Fatalf("bob = %d after duplicate submits, want exactly one transfer", got)
+	}
+}

@@ -1,0 +1,173 @@
+package zlb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterPaymentsHappyPath(t *testing.T) {
+	c, err := NewCluster(Config{N: 7, Seed: 11, MaxBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := c.WalletFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.WalletFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Start()
+	tx, err := c.Pay(alice, bob.Address(), 12_345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx)
+	c.RunUntilQuiet(10 * time.Minute)
+
+	if got := c.Balance(bob.Address()); got != 1_000_000+12_345 {
+		t.Fatalf("bob balance = %d, want %d", got, 1_000_000+12_345)
+	}
+	if got := c.Balance(alice.Address()); got != 1_000_000-12_345 {
+		t.Fatalf("alice balance = %d, want %d", got, 1_000_000-12_345)
+	}
+	if c.Height() == 0 {
+		t.Fatal("no blocks committed")
+	}
+	if c.Disagreements() != 0 {
+		t.Fatal("disagreements in honest run")
+	}
+}
+
+func TestClusterAllReplicasAgreeOnBalances(t *testing.T) {
+	c, err := NewCluster(Config{N: 7, Seed: 13, MaxBlocks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	c.Start()
+	for i := 0; i < 5; i++ {
+		tx, err := c.Pay(alice, bob.Address(), Amount(100*(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Submit(tx)
+		c.Run(2 * time.Second)
+	}
+	c.RunUntilQuiet(10 * time.Minute)
+	want := c.Balance(bob.Address())
+	for _, id := range c.inner.Members {
+		if got := c.BalanceAt(id, bob.Address()); got != want {
+			t.Fatalf("replica %v sees bob=%d, replica 1 sees %d", id, got, want)
+		}
+	}
+}
+
+// TestZeroLossUnderAttack is the paper's end-to-end promise: a coalition
+// of d = ⌈5n/9⌉−1 deceitful replicas forks the chain; after recovery every
+// honest account holds at least what it held on its own branch, funded
+// from the slashed deposits, and the deceitful replicas are excluded.
+func TestZeroLossUnderAttack(t *testing.T) {
+	var frauds []ReplicaID
+	var changes int
+	c, err := NewCluster(Config{
+		N:                9,
+		Deceitful:        4,
+		Attack:           BinaryConsensusAttack,
+		PartitionDelayMs: 3000,
+		Seed:             3,
+		MaxBlocks:        6,
+		OnFraud:          func(id ReplicaID) { frauds = append(frauds, id) },
+		OnMembershipChange: func(ex, in []ReplicaID) {
+			changes++
+			if len(ex) == 0 || len(ex) != len(in) {
+				t.Errorf("membership change excluded %d, included %d", len(ex), len(in))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	c.Start()
+	tx, err := c.Pay(alice, bob.Address(), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx)
+	c.RunUntilQuiet(60 * time.Minute)
+
+	if len(frauds) == 0 {
+		t.Fatal("no fraud detected under attack")
+	}
+	if changes == 0 {
+		t.Fatal("no membership change completed")
+	}
+	if !c.Converged() {
+		t.Fatal("cluster did not converge")
+	}
+	// Deceitful replicas (1..4) must be out of the committee.
+	for _, id := range c.Members() {
+		if uint32(id) <= 4 {
+			t.Fatalf("deceitful replica %v still in committee", id)
+		}
+	}
+	// Zero loss: bob received his payment; alice paid exactly once.
+	if got := c.Balance(bob.Address()); got != 1_000_000+777 {
+		t.Fatalf("bob = %d, want %d", got, 1_000_000+777)
+	}
+	if got := c.Balance(alice.Address()); got < 1_000_000-777 {
+		t.Fatalf("alice lost more than her payment: %d", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 2}); err == nil {
+		t.Fatal("N=2 accepted")
+	}
+	if _, err := NewCluster(Config{N: 4, Attack: Attack(99)}); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	c, err := NewCluster(Config{N: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	tx, err := c.Pay(alice, bob.Address(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := EncodeBatch([]*Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].ID() != tx.ID() {
+		t.Fatal("batch round trip lost the transaction")
+	}
+}
+
+func TestMinFinalizationDepth(t *testing.T) {
+	c, err := NewCluster(Config{N: 9, Deceitful: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.MinFinalizationDepth(0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 0 {
+		t.Fatalf("depth %d, want positive", m)
+	}
+}
