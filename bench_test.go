@@ -7,11 +7,53 @@ package zlb_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"github.com/zeroloss/zlb"
 	"github.com/zeroloss/zlb/internal/adversary"
 	"github.com/zeroloss/zlb/internal/bench"
 	"github.com/zeroloss/zlb/internal/payment"
 )
+
+// BenchmarkSubmitPipeline measures the full application hot path: build a
+// signed payment against the live ledger, broadcast it into every
+// replica's mempool, run consensus on the simulated network, commit the
+// block and prune. One iteration is one end-to-end transaction; the
+// allocs/op figure is the regression guard for the cached digests, the
+// binary batch codec, the decoded-batch cache and the indexed mempool.
+func BenchmarkSubmitPipeline(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cluster, err := zlb.NewCluster(zlb.Config{
+				N:    n,
+				Seed: 42,
+				// Far above any b.N the harness will try, so the chain
+				// never hits the MaxBlocks cap mid-benchmark.
+				MaxBlocks: 1 << 62,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w0, _ := cluster.WalletFor(0)
+			w1, _ := cluster.WalletFor(1)
+			cluster.Start()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := cluster.Pay(w0, w1.Address(), 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cluster.Submit(tx)
+				cluster.Run(2 * time.Second) // virtual: commits the instance
+			}
+			b.StopTimer()
+			if got := cluster.Height(); got < b.N {
+				b.Fatalf("committed %d blocks for %d submissions", got, b.N)
+			}
+		})
+	}
+}
 
 // BenchmarkFig3Throughput reproduces Figure 3: decision throughput of
 // ZLB, Red Belly, Polygraph and HotStuff across committee sizes.

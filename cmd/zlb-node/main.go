@@ -15,8 +15,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
@@ -30,11 +28,13 @@ import (
 	"github.com/zeroloss/zlb/internal/bm"
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/transport"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
+	"github.com/zeroloss/zlb/internal/wire"
 )
 
 func main() {
@@ -90,8 +90,8 @@ func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64)
 	faucet := utxo.AddressOf(faucetKP.Public())
 	ledger.Genesis(map[utxo.Address]types.Amount{faucet: 1_000_000_000})
 
-	var mempool []*utxo.Transaction
-	inPool := make(map[types.Digest]bool)
+	pool := mempool.New()
+	batches := wire.NewBatchCache(0)
 
 	replica := asmr.NewReplica(asmr.Config{
 		Self:             self,
@@ -102,28 +102,25 @@ func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64)
 		Recover:          true,
 		WaitForWork:      true,
 		BatchSource: func(k uint64) asmr.Batch {
-			if len(mempool) == 0 {
+			txs := pool.Take(2000)
+			if len(txs) == 0 {
 				return asmr.Batch{}
 			}
-			take := len(mempool)
-			if take > 2000 {
-				take = 2000
-			}
-			data, err := encodeTxs(mempool[:take])
+			data, err := wire.EncodeBatch(txs)
 			if err != nil {
 				return asmr.Batch{}
 			}
-			return asmr.Batch{Payload: data, ClaimedSigs: take}
+			return asmr.Batch{Payload: data, ClaimedSigs: len(txs)}
 		},
 		OnCommit: func(k uint64, _ uint32, d *sbc.Decision) {
-			block := blockFrom(k, d)
+			block := blockFrom(k, d, batches)
 			applied := ledger.CommitBlock(block)
-			mempool = pruneMempool(mempool, block)
+			pool.Prune(block.Txs)
 			log.Printf("block %d committed: %d txs applied, height %d, faucet=%d",
 				k, applied, ledger.Height(), ledger.Table().Balance(faucet))
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
-			block := blockFrom(k, remote)
+			block := blockFrom(k, remote, batches)
 			merged := ledger.MergeBlock(block)
 			log.Printf("fork at block %d reconciled: %d txs merged", k, merged)
 		},
@@ -135,7 +132,7 @@ func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64)
 		},
 	})
 
-	handler := &appHandler{node: node, replica: replica, mempool: &mempool, inPool: inPool}
+	handler := &appHandler{node: node, replica: replica, pool: pool}
 	node.SetHandler(handler)
 
 	node.Do(func() { replica.Start() })
@@ -157,8 +154,7 @@ func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64)
 type appHandler struct {
 	node    *transport.Node
 	replica *asmr.Replica
-	mempool *[]*utxo.Transaction
-	inPool  map[types.Digest]bool
+	pool    *mempool.Pool
 }
 
 func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
@@ -166,12 +162,9 @@ func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
 		if sub.Tx == nil {
 			return
 		}
-		id := sub.Tx.ID()
-		if !h.inPool[id] {
-			h.inPool[id] = true
-			*h.mempool = append(*h.mempool, sub.Tx)
+		if h.pool.Add(sub.Tx) {
 			h.replica.Kick()
-			log.Printf("tx %v enqueued (mempool %d)", id, len(*h.mempool))
+			log.Printf("tx %v enqueued (mempool %d)", sub.Tx.ID(), h.pool.Len())
 		}
 		return
 	}
@@ -180,29 +173,13 @@ func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
 
 func (h *appHandler) OnTimer(payload any) { h.replica.OnTimer(payload) }
 
-// encodeTxs/decodeTxs serialize transaction batches as consensus
-// payloads.
-func encodeTxs(txs []*utxo.Transaction) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(txs); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeTxs(payload []byte) ([]*utxo.Transaction, error) {
-	var txs []*utxo.Transaction
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&txs); err != nil {
-		return nil, err
-	}
-	return txs, nil
-}
-
-func blockFrom(k uint64, d *sbc.Decision) *bm.Block {
+// blockFrom assembles the application block of a decision, decoding each
+// proposal payload through the shared batch cache (internal/wire).
+func blockFrom(k uint64, d *sbc.Decision, batches *wire.BatchCache) *bm.Block {
 	var txs []*utxo.Transaction
 	seen := make(map[types.Digest]bool)
 	for _, p := range d.OrderedProposals() {
-		batch, err := decodeTxs(p.Payload)
+		batch, err := batches.Decode(p.Payload)
 		if err != nil {
 			continue
 		}
@@ -215,18 +192,4 @@ func blockFrom(k uint64, d *sbc.Decision) *bm.Block {
 		}
 	}
 	return bm.NewBlock(k, txs)
-}
-
-func pruneMempool(pool []*utxo.Transaction, b *bm.Block) []*utxo.Transaction {
-	gone := make(map[types.Digest]bool, len(b.Txs))
-	for _, tx := range b.Txs {
-		gone[tx.ID()] = true
-	}
-	kept := pool[:0]
-	for _, tx := range pool {
-		if !gone[tx.ID()] {
-			kept = append(kept, tx)
-		}
-	}
-	return kept
 }

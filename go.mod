@@ -1,0 +1,3 @@
+module github.com/zeroloss/zlb
+
+go 1.24

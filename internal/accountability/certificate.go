@@ -57,35 +57,63 @@ func (c *Certificate) Signers() []types.ReplicaID {
 // SignerCount counts distinct signers that belong to the given committee
 // membership test; a nil test counts all distinct signers. The membership
 // test is how the exclusion consensus re-checks stored certificates
-// against its shrinking committee C′ (Alg. 1 lines 31-36).
+// against its shrinking committee C′ (Alg. 1 lines 31-36). Distinctness
+// uses a small stack scratch instead of a set allocation: committees are
+// at most a few hundred replicas, and this runs for every stored
+// certificate each time C′ shrinks.
 func (c *Certificate) SignerCount(member func(types.ReplicaID) bool) int {
-	set := types.NewReplicaSet()
+	var scratch [128]types.ReplicaID
+	seen := scratch[:0]
+	count := 0
 	for _, s := range c.Sigs {
-		if member == nil || member(s.Signer) {
-			set.Add(s.Signer)
+		if member != nil && !member(s.Signer) {
+			continue
+		}
+		if containsReplica(seen, s.Signer) {
+			continue
+		}
+		seen = append(seen, s.Signer)
+		count++
+	}
+	return count
+}
+
+func containsReplica(ids []types.ReplicaID, id types.ReplicaID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
 		}
 	}
-	return set.Len()
+	return false
 }
 
 // Verify checks structure, distinctness, signatures and that the
 // certificate reaches the quorum for committee size n among members
-// accepted by the membership test (nil accepts all).
+// accepted by the membership test (nil accepts all). The statement digest
+// is computed once and shared by every signature check — all signatures
+// in a certificate cover the same statement.
 func (c *Certificate) Verify(v *crypto.Signer, n int, member func(types.ReplicaID) bool) error {
-	seen := types.NewReplicaSet()
+	digest := c.Stmt.Digest()
+	var scratch [128]types.ReplicaID
+	seen := scratch[:0]
+	counted := 0
 	for _, s := range c.Sigs {
 		if s.Stmt != c.Stmt {
 			return ErrCertMismatch
 		}
-		if !seen.Add(s.Signer) {
-			return ErrCertDuplicate
+		if containsReplica(seen, s.Signer) {
+			return fmt.Errorf("%w: %v", ErrCertDuplicate, s.Signer)
 		}
-		if !s.Verify(v) {
+		seen = append(seen, s.Signer)
+		if !v.Verify(s.Signer, digest, s.Sig) {
 			return fmt.Errorf("%w: signer %v", ErrCertSignature, s.Signer)
 		}
+		if member == nil || member(s.Signer) {
+			counted++
+		}
 	}
-	if c.SignerCount(member) < types.Quorum(n) {
-		return fmt.Errorf("%w: %d of %d needed", ErrCertQuorum, c.SignerCount(member), types.Quorum(n))
+	if counted < types.Quorum(n) {
+		return fmt.Errorf("%w: %d of %d needed", ErrCertQuorum, counted, types.Quorum(n))
 	}
 	return nil
 }

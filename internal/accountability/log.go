@@ -16,8 +16,11 @@ import (
 // and all its protocol components share it.
 type Log struct {
 	verifier *crypto.Signer
-	// first statement seen per (slot, signer)
-	seen map[SlotKey]map[types.ReplicaID]Signed
+	// first statement seen per (slot, signer). A single flat map keyed by
+	// the combined (slot, signer) pair: recording a statement is one hash
+	// and one insert, with no per-slot inner-map allocation (Record runs
+	// for every signed statement every replica sees).
+	seen map[slotSigner]Signed
 	// pofs accumulated, one per culprit (the first found is kept)
 	pofs map[types.ReplicaID]PoF
 	// onPoF, if set, fires once per new culprit.
@@ -26,12 +29,19 @@ type Log struct {
 	Recorded int
 }
 
+// slotSigner is the log's flat index key: an equivocation slot plus the
+// signer being tracked in it.
+type slotSigner struct {
+	slot   SlotKey
+	signer types.ReplicaID
+}
+
 // NewLog creates an empty log. verifier supplies signature verification;
 // onPoF (optional) observes each newly proven culprit exactly once.
 func NewLog(verifier *crypto.Signer, onPoF func(PoF)) *Log {
 	return &Log{
 		verifier: verifier,
-		seen:     make(map[SlotKey]map[types.ReplicaID]Signed),
+		seen:     make(map[slotSigner]Signed),
 		pofs:     make(map[types.ReplicaID]PoF),
 		onPoF:    onPoF,
 	}
@@ -43,15 +53,10 @@ func NewLog(verifier *crypto.Signer, onPoF func(PoF)) *Log {
 // or nil.
 func (l *Log) Record(s Signed) *PoF {
 	l.Recorded++
-	key := s.Stmt.Key()
-	bySigner, ok := l.seen[key]
-	if !ok {
-		bySigner = make(map[types.ReplicaID]Signed)
-		l.seen[key] = bySigner
-	}
-	prev, dup := bySigner[s.Signer]
+	key := slotSigner{slot: s.Stmt.Key(), signer: s.Signer}
+	prev, dup := l.seen[key]
 	if !dup {
-		bySigner[s.Signer] = s
+		l.seen[key] = s
 		return nil
 	}
 	if prev.Stmt.Value == s.Stmt.Value {

@@ -102,19 +102,26 @@ func BoolDigest(v bool) types.Digest {
 // DigestBool decodes BoolDigest.
 func DigestBool(d types.Digest) bool { return d[0] == 1 }
 
-// encodedLen is the fixed canonical encoding length of a Statement.
-const encodedLen = 1 + 1 + 8 + 4 + 4 + 32
+// EncodedLen is the fixed canonical encoding length of a Statement.
+const EncodedLen = 1 + 1 + 8 + 4 + 4 + 32
+
+// encodedLen is kept as the package-internal alias.
+const encodedLen = EncodedLen
 
 // Encode produces the canonical fixed-width encoding signatures cover.
 func (s Statement) Encode() []byte {
 	buf := make([]byte, encodedLen)
+	s.encodeInto((*[encodedLen]byte)(buf))
+	return buf
+}
+
+func (s Statement) encodeInto(buf *[encodedLen]byte) {
 	buf[0] = s.Context
 	buf[1] = byte(s.Kind)
 	binary.BigEndian.PutUint64(buf[2:], uint64(s.Instance))
 	binary.BigEndian.PutUint32(buf[10:], s.Slot)
 	binary.BigEndian.PutUint32(buf[14:], uint32(s.Round))
 	copy(buf[18:], s.Value[:])
-	return buf
 }
 
 // DecodeStatement parses a canonical encoding.
@@ -132,8 +139,14 @@ func DecodeStatement(buf []byte) (Statement, error) {
 	return s, nil
 }
 
-// Digest returns the hash signatures are computed over.
-func (s Statement) Digest() types.Digest { return types.Hash(s.Encode()) }
+// Digest returns the hash signatures are computed over. The encoding is
+// assembled in a stack buffer: signature verification recomputes this for
+// every signed statement received, so it must not allocate.
+func (s Statement) Digest() types.Digest {
+	var buf [encodedLen]byte
+	s.encodeInto(&buf)
+	return types.Hash(buf[:])
+}
 
 // SlotKey identifies the equivocation slot of a statement: everything but
 // the value. Two signed statements with equal SlotKey and different Value

@@ -137,6 +137,16 @@ func (l *Ledger) BlockAt(k uint64) (*Block, bool) {
 	return b, ok
 }
 
+// BlockDigests returns the digest of every stored block, keyed by chain
+// index (determinism checks compare these across runs).
+func (l *Ledger) BlockDigests() map[uint64]types.Digest {
+	out := make(map[uint64]types.Digest, len(l.byIndex))
+	for k, b := range l.byIndex {
+		out[k] = b.Digest
+	}
+	return out
+}
+
 // HasTx reports whether a transaction is committed.
 func (l *Ledger) HasTx(id types.Digest) bool { return l.txs[id] }
 

@@ -252,9 +252,8 @@ func (*simScheme) Sign(kp *KeyPair, digest types.Digest) (Signature, error) {
 	if kp.kind != SchemeSim {
 		return nil, ErrWrongScheme
 	}
-	mac := hmac.New(sha256.New, kp.simSeed)
-	mac.Write(digest[:])
-	return mac.Sum(nil), nil
+	mac := simMAC(kp.simSeed, digest)
+	return mac[:], nil
 }
 
 func (s *simScheme) Verify(pub PublicKey, digest types.Digest, sig Signature) bool {
@@ -262,7 +261,33 @@ func (s *simScheme) Verify(pub PublicKey, digest types.Digest, sig Signature) bo
 	if !ok {
 		return false
 	}
-	mac := hmac.New(sha256.New, seed)
-	mac.Write(digest[:])
-	return hmac.Equal(mac.Sum(nil), sig)
+	expect := simMAC(seed, digest)
+	return hmac.Equal(expect[:], sig)
+}
+
+// simMAC computes HMAC-SHA256(seed, digest) without the ~6 heap
+// allocations hmac.New costs per call: verification is the simulator's
+// hottest operation (millions of calls per run), so the two SHA-256
+// passes run over stack buffers. The output is bit-identical to
+// crypto/hmac's.
+func simMAC(seed []byte, digest types.Digest) [32]byte {
+	if len(seed) > 64 {
+		h := sha256.Sum256(seed)
+		seed = h[:]
+	}
+	var ipad, opad [64]byte
+	copy(ipad[:], seed)
+	copy(opad[:], seed)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
+	}
+	var inner [64 + 32]byte
+	copy(inner[:64], ipad[:])
+	copy(inner[64:], digest[:])
+	innerSum := sha256.Sum256(inner[:])
+	var outer [64 + 32]byte
+	copy(outer[:64], opad[:])
+	copy(outer[64:], innerSum[:])
+	return sha256.Sum256(outer[:])
 }

@@ -10,8 +10,6 @@
 package membership
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -22,6 +20,7 @@ import (
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/wire"
 )
 
 // PoFBroadcast disseminates newly found proofs of fraud (Alg. 1 line 26).
@@ -518,21 +517,21 @@ func Choose(count int, proposals [][]types.ReplicaID) []types.ReplicaID {
 	return chosen
 }
 
-// --- Encoding helpers (gob over stdlib) ---
+// --- Encoding helpers (length-prefixed binary, internal/wire) ---
 
 // EncodePoFs serializes a PoF set for an exclusion proposal.
 func EncodePoFs(pofs []accountability.PoF) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(pofs); err != nil {
+	payload, err := wire.EncodePoFs(pofs)
+	if err != nil {
 		return nil, fmt.Errorf("membership: encode pofs: %w", err)
 	}
-	return buf.Bytes(), nil
+	return payload, nil
 }
 
 // DecodePoFs parses an exclusion proposal.
 func DecodePoFs(payload []byte) ([]accountability.PoF, error) {
-	var pofs []accountability.PoF
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pofs); err != nil {
+	pofs, err := wire.DecodePoFs(payload)
+	if err != nil {
 		return nil, fmt.Errorf("membership: decode pofs: %w", err)
 	}
 	return pofs, nil
@@ -540,17 +539,17 @@ func DecodePoFs(payload []byte) ([]accountability.PoF, error) {
 
 // EncodeReplicas serializes a candidate list for an inclusion proposal.
 func EncodeReplicas(ids []types.ReplicaID) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(ids); err != nil {
+	payload, err := wire.EncodeReplicas(ids)
+	if err != nil {
 		return nil, fmt.Errorf("membership: encode replicas: %w", err)
 	}
-	return buf.Bytes(), nil
+	return payload, nil
 }
 
 // DecodeReplicas parses an inclusion proposal.
 func DecodeReplicas(payload []byte) ([]types.ReplicaID, error) {
-	var ids []types.ReplicaID
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ids); err != nil {
+	ids, err := wire.DecodeReplicas(payload)
+	if err != nil {
 		return nil, fmt.Errorf("membership: decode replicas: %w", err)
 	}
 	return ids, nil

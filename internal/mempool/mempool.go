@@ -1,0 +1,91 @@
+// Package mempool provides the indexed transaction pool every ZLB node
+// front-ends consensus with: an insertion-ordered queue with an O(1)
+// digest index for deduplication and a prune that relies on the
+// transactions' memoized IDs instead of re-hashing every entry. It
+// replaces the slice+map pair that used to be duplicated by the zlb
+// package and cmd/zlb-node.
+//
+// The pool stores shared *utxo.Transaction pointers: in the simulated
+// deployment all replicas index the same transaction objects, so a digest
+// is computed once per transaction for the whole cluster.
+package mempool
+
+import (
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+// Pool is an indexed mempool. Not safe for concurrent use; the owning
+// node serializes access (the simulator is single-threaded, the TCP node
+// funnels everything through its event loop).
+type Pool struct {
+	queue []*utxo.Transaction
+	// seen holds every digest ever added. Entries outlive pruning on
+	// purpose: clients broadcast to all replicas and may retry, and a
+	// transaction that already went through consensus must not re-enter
+	// the queue (the ledger also skips it, but re-proposing it would waste
+	// a consensus instance).
+	seen map[types.Digest]struct{}
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{seen: make(map[types.Digest]struct{})}
+}
+
+// Add enqueues tx unless its digest was ever added before. It reports
+// whether the transaction was added.
+func (p *Pool) Add(tx *utxo.Transaction) bool {
+	id := tx.ID()
+	if _, dup := p.seen[id]; dup {
+		return false
+	}
+	p.seen[id] = struct{}{}
+	p.queue = append(p.queue, tx)
+	return true
+}
+
+// Seen reports whether a transaction with the given digest was ever
+// added.
+func (p *Pool) Seen(id types.Digest) bool {
+	_, ok := p.seen[id]
+	return ok
+}
+
+// Len returns the number of queued transactions.
+func (p *Pool) Len() int { return len(p.queue) }
+
+// Take returns up to max transactions in insertion order without removing
+// them (they leave the pool when a committed block prunes them). The
+// returned slice aliases the pool's queue; callers must not modify it.
+func (p *Pool) Take(max int) []*utxo.Transaction {
+	if len(p.queue) <= max {
+		return p.queue
+	}
+	return p.queue[:max]
+}
+
+// Prune drops the given transactions (typically a committed block's) from
+// the queue. With memoized IDs this costs O(len(txs)) map inserts and one
+// allocation-free sweep of the queue.
+func (p *Pool) Prune(txs []*utxo.Transaction) {
+	if len(txs) == 0 || len(p.queue) == 0 {
+		return
+	}
+	gone := make(map[types.Digest]struct{}, len(txs))
+	for _, tx := range txs {
+		gone[tx.ID()] = struct{}{}
+	}
+	kept := p.queue[:0]
+	for _, tx := range p.queue {
+		if _, ok := gone[tx.ID()]; !ok {
+			kept = append(kept, tx)
+		}
+	}
+	// Clear the tail so pruned transactions do not leak through the
+	// backing array.
+	for i := len(kept); i < len(p.queue); i++ {
+		p.queue[i] = nil
+	}
+	p.queue = kept
+}

@@ -1,0 +1,101 @@
+package mempool
+
+import (
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+func testTxs(t *testing.T, n int) []*utxo.Transaction {
+	t.Helper()
+	reg := crypto.NewRegistry(crypto.SchemeSim)
+	scheme, err := crypto.NewScheme(crypto.SchemeSim, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := scheme.GenerateKey(crypto.NewDeterministicRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := utxo.NewWallet(kp, scheme)
+	txs := make([]*utxo.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		op := utxo.Outpoint{TxID: types.Hash([]byte{byte(i)}), Index: 0}
+		tx, err := w.Pay([]utxo.Input{{Prev: op, Value: 50}},
+			[]utxo.Output{{Account: w.Address(), Value: 50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+func TestAddDedupTakePrune(t *testing.T) {
+	p := New()
+	txs := testTxs(t, 5)
+	for i, tx := range txs {
+		if !p.Add(tx) {
+			t.Fatalf("tx %d rejected", i)
+		}
+		if p.Add(tx) {
+			t.Fatalf("tx %d accepted twice", i)
+		}
+	}
+	if p.Len() != 5 {
+		t.Fatalf("len %d, want 5", p.Len())
+	}
+
+	// Take preserves insertion order and caps at max.
+	take := p.Take(3)
+	if len(take) != 3 {
+		t.Fatalf("took %d, want 3", len(take))
+	}
+	for i := range take {
+		if take[i].ID() != txs[i].ID() {
+			t.Errorf("take[%d] out of order", i)
+		}
+	}
+	if got := p.Take(100); len(got) != 5 {
+		t.Errorf("uncapped take returned %d, want 5", len(got))
+	}
+
+	// Prune the first three (a committed block), keep the rest in order.
+	p.Prune(txs[:3])
+	if p.Len() != 2 {
+		t.Fatalf("len after prune %d, want 2", p.Len())
+	}
+	rest := p.Take(10)
+	if rest[0].ID() != txs[3].ID() || rest[1].ID() != txs[4].ID() {
+		t.Error("prune broke queue order")
+	}
+
+	// A pruned (committed) transaction must not re-enter the queue.
+	if p.Add(txs[0]) {
+		t.Error("committed tx re-added after prune")
+	}
+	if !p.Seen(txs[0].ID()) {
+		t.Error("pruned tx forgotten")
+	}
+}
+
+func TestPruneUnknownTxs(t *testing.T) {
+	p := New()
+	txs := testTxs(t, 5)
+	for _, tx := range txs[:3] {
+		p.Add(tx)
+	}
+	// Pruning a block whose transactions were never queued here (other
+	// replicas proposed them) leaves the queue untouched.
+	p.Prune(txs[3:])
+	p.Prune(nil)
+	if p.Len() != 3 {
+		t.Errorf("len %d after no-op prunes, want 3", p.Len())
+	}
+	// And those foreign transactions can still be added afterwards.
+	if !p.Add(txs[3]) {
+		t.Error("foreign tx rejected after being pruned-while-absent")
+	}
+}

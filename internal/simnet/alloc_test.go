@@ -1,0 +1,49 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+type silentHandler struct{}
+
+func (silentHandler) OnMessage(types.ReplicaID, Message) {}
+func (silentHandler) OnTimer(any)                        {}
+
+type tinyMsg struct{}
+
+func (*tinyMsg) SimBytes() int  { return 64 }
+func (*tinyMsg) SimSigOps() int { return 0 }
+
+// TestSendZeroAllocsSteadyState is the perf regression guard for the
+// value-based event queue: once the queue's backing array is warm,
+// scheduling and delivering a message must not allocate (the old
+// container/heap implementation allocated one *event per message).
+func TestSendZeroAllocsSteadyState(t *testing.T) {
+	net := New(Config{Latency: latency.Uniform(time.Millisecond, 2*time.Millisecond), Seed: 1})
+	var envs [2]Env
+	for i := types.ReplicaID(1); i <= 2; i++ {
+		i := i
+		net.AddNode(i, func(env Env) Handler {
+			envs[i-1] = env
+			return silentHandler{}
+		})
+	}
+	msg := &tinyMsg{}
+	// Warm the queue's backing array.
+	for i := 0; i < 64; i++ {
+		envs[0].Send(2, msg)
+	}
+	net.RunUntilQuiet(time.Hour)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		envs[0].Send(2, msg)
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Send+Step allocates %.1f objects per message, want 0", allocs)
+	}
+}

@@ -15,7 +15,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -140,24 +139,76 @@ type event struct {
 	payload any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a value-based 4-ary min-heap ordered by (at, seq). Events
+// are stored by value in one growable slice, so scheduling a message
+// costs zero heap allocations once the backing array is warm (the old
+// container/heap implementation allocated one *event per message — the
+// simulator's dominant allocation source). The (at, seq) key is unique
+// (seq strictly increases), so the pop order is a total order and does
+// not depend on heap arity: results are bit-identical to the old binary
+// heap. A 4-ary layout halves the tree depth, which cuts sift work and
+// cache misses for the large queues big committees build up.
+type eventQueue struct {
+	evs []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+// minAt returns the timestamp of the earliest event; the caller must
+// ensure the queue is non-empty.
+func (q *eventQueue) minAt() time.Duration { return q.evs[0].at }
+
+func (q *eventQueue) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(ev event) {
+	q.evs = append(q.evs, ev)
+	// Sift up.
+	i := len(q.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(&q.evs[i], &q.evs[parent]) {
+			break
+		}
+		q.evs[i], q.evs[parent] = q.evs[parent], q.evs[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	min := q.evs[0]
+	last := len(q.evs) - 1
+	q.evs[0] = q.evs[last]
+	q.evs[last] = event{} // release msg/payload references
+	q.evs = q.evs[:last]
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(&q.evs[c], &q.evs[best]) {
+				best = c
+			}
+		}
+		if !q.less(&q.evs[best], &q.evs[i]) {
+			break
+		}
+		q.evs[i], q.evs[best] = q.evs[best], q.evs[i]
+		i = best
+	}
+	return min
 }
 
 type nodeState struct {
@@ -174,10 +225,13 @@ type nodeState struct {
 // Network is the simulator. Not safe for concurrent use; the entire
 // simulation runs on the caller's goroutine.
 type Network struct {
-	cfg       Config
-	clock     time.Duration
-	pq        eventHeap
-	nodes     map[types.ReplicaID]*nodeState
+	cfg   Config
+	clock time.Duration
+	pq    eventQueue
+	// nodes is a dense slice indexed by ReplicaID: replica IDs are small
+	// consecutive integers, so the per-event lookup is an array index
+	// instead of a map probe. Unregistered IDs hold nil.
+	nodes     []*nodeState
 	order     []types.ReplicaID // insertion order, for deterministic reporting
 	seq       uint64
 	rng       *rand.Rand
@@ -203,16 +257,23 @@ func New(cfg Config) *Network {
 		cfg.MaxEvents = 200_000_000
 	}
 	return &Network{
-		cfg:   cfg,
-		nodes: make(map[types.ReplicaID]*nodeState),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+}
+
+// node returns the state registered for id, or nil.
+func (n *Network) node(id types.ReplicaID) *nodeState {
+	if int(id) < len(n.nodes) {
+		return n.nodes[id]
+	}
+	return nil
 }
 
 // AddNode registers a node. The build function receives the node's Env and
 // returns its Handler; protocols typically capture the Env.
 func (n *Network) AddNode(id types.ReplicaID, build func(Env) Handler) {
-	if _, dup := n.nodes[id]; dup {
+	if n.node(id) != nil {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
 	}
 	st := &nodeState{
@@ -222,6 +283,9 @@ func (n *Network) AddNode(id types.ReplicaID, build func(Env) Handler) {
 		net:       n,
 		cancelled: make(map[TimerID]struct{}),
 	}
+	for int(id) >= len(n.nodes) {
+		n.nodes = append(n.nodes, nil)
+	}
 	n.nodes[id] = st
 	n.order = append(n.order, id)
 	st.handler = build(st)
@@ -230,7 +294,7 @@ func (n *Network) AddNode(id types.ReplicaID, build func(Env) Handler) {
 // SetUp marks a node up or down. Down nodes neither send nor receive:
 // this models the paper's benign (crashed/mute) replicas.
 func (n *Network) SetUp(id types.ReplicaID, up bool) {
-	if st, ok := n.nodes[id]; ok {
+	if st := n.node(id); st != nil {
 		st.up = up
 	}
 }
@@ -247,7 +311,7 @@ func (n *Network) NodeIDs() []types.ReplicaID {
 
 // Handler returns the handler registered for id, or nil.
 func (n *Network) Handler(id types.ReplicaID) Handler {
-	if st, ok := n.nodes[id]; ok {
+	if st := n.node(id); st != nil {
 		return st.handler
 	}
 	return nil
@@ -268,8 +332,8 @@ func (s *nodeState) Send(to types.ReplicaID, msg Message) {
 		return
 	}
 	n := s.net
-	dst, ok := n.nodes[to]
-	if !ok || !dst.up {
+	dst := n.node(to)
+	if dst == nil || !dst.up {
 		n.Dropped++
 		return
 	}
@@ -295,7 +359,7 @@ func (s *nodeState) Send(to types.ReplicaID, msg Message) {
 		delay = n.cfg.Latency.Delay(s.id, to, n.rng)
 	}
 	n.seq++
-	heap.Push(&n.pq, &event{
+	n.pq.push(event{
 		at:   depart + delay,
 		seq:  n.seq,
 		kind: evDeliver,
@@ -310,7 +374,7 @@ func (s *nodeState) SetTimer(d time.Duration, payload any) TimerID {
 	n.nextTimer++
 	id := n.nextTimer
 	n.seq++
-	heap.Push(&n.pq, &event{
+	n.pq.push(event{
 		at:      s.now + d,
 		seq:     n.seq,
 		kind:    evTimer,
@@ -337,9 +401,9 @@ func (n *Network) Step() bool {
 		if n.Delivered >= n.cfg.MaxEvents {
 			return false
 		}
-		ev := heap.Pop(&n.pq).(*event)
-		st, ok := n.nodes[ev.to]
-		if !ok || !st.up {
+		ev := n.pq.pop()
+		st := n.node(ev.to)
+		if st == nil || !st.up {
 			n.Dropped++
 			continue
 		}
@@ -385,7 +449,7 @@ func (n *Network) Step() bool {
 func (n *Network) Run(until time.Duration) int {
 	processed := 0
 	for n.pq.Len() > 0 {
-		if next := n.pq[0].at; next > until {
+		if next := n.pq.minAt(); next > until {
 			break
 		}
 		if !n.Step() {
@@ -403,7 +467,7 @@ func (n *Network) Run(until time.Duration) int {
 // reached. It returns the number of events processed.
 func (n *Network) RunUntilQuiet(maxTime time.Duration) int {
 	processed := 0
-	for n.pq.Len() > 0 && n.pq[0].at <= maxTime {
+	for n.pq.Len() > 0 && n.pq.minAt() <= maxTime {
 		if !n.Step() {
 			break
 		}
@@ -420,7 +484,7 @@ func (n *Network) Pending() int { return n.pq.Len() }
 // delay. The from ID does not need to be a registered node.
 func (n *Network) Inject(from, to types.ReplicaID, msg Message, after time.Duration) {
 	n.seq++
-	heap.Push(&n.pq, &event{
+	n.pq.push(event{
 		at:   n.clock + after,
 		seq:  n.seq,
 		kind: evDeliver,

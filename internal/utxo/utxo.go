@@ -56,12 +56,26 @@ type Input struct {
 // Nonce is the sender's strictly monotonically increasing sequence number
 // (paper §4.2.4), which keeps two intentional transfers of equal shape
 // from colliding into one transaction ID.
+//
+// Transactions are immutable once signed: ID, SigDigest and the canonical
+// encoding are computed lazily and memoized, so the hot paths (mempool
+// dedup, block assembly, pruning, UTXO application) hash each transaction
+// at most once. Code that mutates a field after one of these accessors has
+// run must call Invalidate.
 type Transaction struct {
 	Inputs  []Input
 	Outputs []Output
 	Nonce   uint64
 	Sender  crypto.PublicKey
 	Sig     crypto.Signature
+
+	// Memoized derived values (unexported: skipped by gob, excluded from
+	// the canonical encoding).
+	enc       []byte // canonical encoding, signature included
+	id        types.Digest
+	sigDigest types.Digest
+	haveID    bool
+	haveSD    bool
 }
 
 // Errors returned by transaction validation.
@@ -78,21 +92,56 @@ var (
 )
 
 // SigDigest returns the digest the sender signs: everything except the
-// signature itself.
+// signature itself. The result is memoized.
 func (tx *Transaction) SigDigest() types.Digest {
-	return types.Hash(tx.encode(false))
+	if !tx.haveSD {
+		tx.sigDigest = types.Hash(tx.encode(false))
+		tx.haveSD = true
+	}
+	return tx.sigDigest
 }
 
 // ID returns the transaction identifier: the hash of the full encoding,
-// signature included.
+// signature included. The result is memoized.
 func (tx *Transaction) ID() types.Digest {
-	return types.Hash(tx.encode(true))
+	if !tx.haveID {
+		tx.id = types.Hash(tx.Canonical())
+		tx.haveID = true
+	}
+	return tx.id
+}
+
+// Canonical returns the memoized canonical binary encoding, signature
+// included. Callers must not modify the returned slice.
+func (tx *Transaction) Canonical() []byte {
+	if tx.enc == nil {
+		tx.enc = tx.encode(true)
+	}
+	return tx.enc
+}
+
+// CanonicalSize returns the length of the canonical encoding without
+// materializing it.
+func (tx *Transaction) CanonicalSize() int {
+	if tx.enc != nil {
+		return len(tx.enc)
+	}
+	return 8 + 4 + len(tx.Inputs)*(32+4+8) + 4 + len(tx.Outputs)*(32+8) + 4 + len(tx.Sender) + len(tx.Sig)
+}
+
+// Invalidate drops the memoized encoding and digests. It must be called
+// after mutating a transaction that has already been encoded or hashed
+// (test helpers forging variants; production code never mutates).
+func (tx *Transaction) Invalidate() {
+	tx.enc = nil
+	tx.haveID = false
+	tx.haveSD = false
 }
 
 // encode produces the canonical binary form, roughly 400 bytes for a
 // typical 2-in/2-out transaction as in the paper's workload.
 func (tx *Transaction) encode(withSig bool) []byte {
-	size := 8 + 8 + len(tx.Inputs)*(32+4+8) + len(tx.Outputs)*(32+8) + len(tx.Sender)
+	size := 8 + 4 + len(tx.Inputs)*(32+4+8) + 4 + len(tx.Outputs)*(32+8) + 4 + len(tx.Sender)
 	if withSig {
 		size += len(tx.Sig)
 	}
@@ -123,6 +172,85 @@ func (tx *Transaction) encode(withSig bool) []byte {
 		buf = append(buf, tx.Sig...)
 	}
 	return buf
+}
+
+// ErrTruncated is returned when a canonical encoding is shorter than its
+// declared structure.
+var ErrTruncated = errors.New("utxo: truncated transaction encoding")
+
+// maxCount bounds the declared input/output/sender lengths a decoder
+// accepts, so a corrupt length prefix cannot trigger a huge allocation.
+const maxCount = 1 << 20
+
+// DecodeTransaction parses a canonical encoding produced by Canonical.
+// The entire buffer is consumed: the signature is the remainder after the
+// sender key. The input is retained as the decoded transaction's memoized
+// encoding, so re-encoding and hashing the result is free.
+func DecodeTransaction(buf []byte) (*Transaction, error) {
+	tx := &Transaction{}
+	r := buf
+	take := func(n int) ([]byte, error) {
+		if len(r) < n {
+			return nil, ErrTruncated
+		}
+		part := r[:n]
+		r = r[n:]
+		return part, nil
+	}
+	part, err := take(8)
+	if err != nil {
+		return nil, err
+	}
+	tx.Nonce = binary.BigEndian.Uint64(part)
+	part, err = take(4)
+	if err != nil {
+		return nil, err
+	}
+	nIn := binary.BigEndian.Uint32(part)
+	if nIn > maxCount || int(nIn) > len(r)/(32+4+8) {
+		return nil, fmt.Errorf("%w: %d inputs in %d bytes", ErrTruncated, nIn, len(r))
+	}
+	tx.Inputs = make([]Input, nIn)
+	for i := range tx.Inputs {
+		if part, err = take(32 + 4 + 8); err != nil {
+			return nil, err
+		}
+		copy(tx.Inputs[i].Prev.TxID[:], part)
+		tx.Inputs[i].Prev.Index = binary.BigEndian.Uint32(part[32:])
+		tx.Inputs[i].Value = types.Amount(binary.BigEndian.Uint64(part[36:]))
+	}
+	if part, err = take(4); err != nil {
+		return nil, err
+	}
+	nOut := binary.BigEndian.Uint32(part)
+	if nOut > maxCount || int(nOut) > len(r)/(32+8) {
+		return nil, fmt.Errorf("%w: %d outputs in %d bytes", ErrTruncated, nOut, len(r))
+	}
+	tx.Outputs = make([]Output, nOut)
+	for i := range tx.Outputs {
+		if part, err = take(32 + 8); err != nil {
+			return nil, err
+		}
+		copy(tx.Outputs[i].Account[:], part)
+		tx.Outputs[i].Value = types.Amount(binary.BigEndian.Uint64(part[32:]))
+	}
+	if part, err = take(4); err != nil {
+		return nil, err
+	}
+	nSender := binary.BigEndian.Uint32(part)
+	if nSender > maxCount || int(nSender) > len(r) {
+		return nil, fmt.Errorf("%w: %d-byte sender in %d bytes", ErrTruncated, nSender, len(r))
+	}
+	if part, err = take(int(nSender)); err != nil {
+		return nil, err
+	}
+	// Sender, Sig and the memoized encoding alias buf: the decoded
+	// transaction shares the payload's backing array, which callers must
+	// therefore not reuse.
+	tx.Sender = crypto.PublicKey(part)
+	tx.Sig = crypto.Signature(r)
+	tx.enc = buf
+	return tx, nil
 }
 
 // InputSum totals the declared input values.
@@ -231,6 +359,9 @@ type Table struct {
 	utxos  map[Outpoint]Output
 	owner  map[Outpoint]Address
 	byAddr map[Address]map[Outpoint]struct{}
+	// bal holds each address's running balance so Balance is O(1) instead
+	// of iterating the outpoint set.
+	bal map[Address]types.Amount
 }
 
 // NewTable creates an empty table.
@@ -239,6 +370,7 @@ func NewTable() *Table {
 		utxos:  make(map[Outpoint]Output),
 		owner:  make(map[Outpoint]Address),
 		byAddr: make(map[Address]map[Outpoint]struct{}),
+		bal:    make(map[Address]types.Amount),
 	}
 }
 
@@ -249,6 +381,7 @@ func (t *Table) Credit(op Outpoint, out Output) {
 	}
 	t.utxos[op] = out
 	t.owner[op] = out.Account
+	t.bal[out.Account] += out.Value
 	set, ok := t.byAddr[out.Account]
 	if !ok {
 		set = make(map[Outpoint]struct{})
@@ -271,6 +404,11 @@ func (t *Table) Consume(op Outpoint) bool {
 	}
 	delete(t.utxos, op)
 	delete(t.owner, op)
+	if next := t.bal[out.Account] - out.Value; next == 0 {
+		delete(t.bal, out.Account)
+	} else {
+		t.bal[out.Account] = next
+	}
 	if set, ok := t.byAddr[out.Account]; ok {
 		delete(set, op)
 		if len(set) == 0 {
@@ -280,14 +418,8 @@ func (t *Table) Consume(op Outpoint) bool {
 	return true
 }
 
-// Balance sums the unspent outputs of an account.
-func (t *Table) Balance(addr Address) types.Amount {
-	var sum types.Amount
-	for op := range t.byAddr[addr] {
-		sum += t.utxos[op].Value
-	}
-	return sum
-}
+// Balance returns the account's running balance in O(1).
+func (t *Table) Balance(addr Address) types.Amount { return t.bal[addr] }
 
 // Outpoints returns the account's unspent outpoints sorted by (TxID,
 // Index) — deterministic input selection for wallets.
@@ -307,21 +439,33 @@ func (t *Table) Outpoints(addr Address) []Outpoint {
 
 // InputsFor selects inputs covering at least amount, consuming as many
 // small UTXOs as possible first to keep the table compact (paper §4.2.2
-// "maximizing the number of UTXOs to consume").
+// "maximizing the number of UTXOs to consume"). An O(1) balance check
+// rejects underfunded requests before any sorting; selection uses a
+// single value-ordered sort — (Value, TxID, Index) ascending, which ties
+// break exactly like the previous sort-then-stable-sort pair did.
 func (t *Table) InputsFor(addr Address, amount types.Amount) ([]Input, error) {
-	ops := t.Outpoints(addr)
-	// Sort ascending by value to sweep dust first.
-	sort.SliceStable(ops, func(i, j int) bool {
-		return t.utxos[ops[i]].Value < t.utxos[ops[j]].Value
+	if have := t.bal[addr]; have < amount {
+		return nil, fmt.Errorf("%w: account %v has %d, needs %d", ErrMissingUTXO, addr, have, amount)
+	}
+	set := t.byAddr[addr]
+	picked := make([]Input, 0, len(set))
+	for op := range set {
+		picked = append(picked, Input{Prev: op, Value: t.utxos[op].Value})
+	}
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].Value != picked[j].Value {
+			return picked[i].Value < picked[j].Value
+		}
+		if picked[i].Prev.TxID != picked[j].Prev.TxID {
+			return picked[i].Prev.TxID.Less(picked[j].Prev.TxID)
+		}
+		return picked[i].Prev.Index < picked[j].Prev.Index
 	})
-	var picked []Input
 	var sum types.Amount
-	for _, op := range ops {
-		out := t.utxos[op]
-		picked = append(picked, Input{Prev: op, Value: out.Value})
-		sum += out.Value
+	for i, in := range picked {
+		sum += in.Value
 		if sum >= amount {
-			return picked, nil
+			return picked[:i+1], nil
 		}
 	}
 	return nil, fmt.Errorf("%w: account %v has %d, needs %d", ErrMissingUTXO, addr, sum, amount)

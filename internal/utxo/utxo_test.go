@@ -114,6 +114,7 @@ func TestValidationErrors(t *testing.T) {
 		}
 		tx.Outputs[0].Value = 1
 		tx.Outputs = append(tx.Outputs, Output{Account: mallory.Address(), Value: 99})
+		tx.Invalidate() // mutated after signing: drop memoized digests
 		if err := tbl.Validate(tx, scheme); err == nil {
 			t.Fatal("tampered transaction accepted")
 		}

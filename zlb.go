@@ -30,8 +30,6 @@
 package zlb
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
@@ -44,10 +42,12 @@ import (
 	"github.com/zeroloss/zlb/internal/harness"
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/payment"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
+	"github.com/zeroloss/zlb/internal/wire"
 )
 
 // Re-exported primitive types, so applications only import this package.
@@ -143,14 +143,17 @@ type Cluster struct {
 	scheme  crypto.Scheme
 	genesis map[Address]Amount
 	stake   Amount
+	// batches caches decoded proposal payloads by digest: all replicas
+	// commit the identical payload, so it is decoded once per cluster
+	// instead of once per replica.
+	batches *wire.BatchCache
 }
 
 // node is the per-replica application state: mempool + ledger.
 type node struct {
 	id      ReplicaID
 	ledger  *bm.Ledger
-	mempool []*Transaction
-	inPool  map[types.Digest]bool
+	mempool *mempool.Pool
 	stakes  map[ReplicaID]Amount
 }
 
@@ -179,7 +182,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.PartitionDelayMs = 3000
 	}
 
-	c := &Cluster{cfg: cfg, nodes: make(map[ReplicaID]*node)}
+	c := &Cluster{cfg: cfg, nodes: make(map[ReplicaID]*node), batches: wire.NewBatchCache(0)}
 
 	// Payment-side PKI for wallets (separate from the replica PKI).
 	reg := crypto.NewRegistry(crypto.SchemeEd25519)
@@ -257,10 +260,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 func (c *Cluster) newNode(id ReplicaID) *node {
 	n := &node{
-		id:     id,
-		ledger: bm.NewLedger(c.scheme),
-		inPool: make(map[types.Digest]bool),
-		stakes: make(map[ReplicaID]Amount),
+		id:      id,
+		ledger:  bm.NewLedger(c.scheme),
+		mempool: mempool.New(),
+		stakes:  make(map[ReplicaID]Amount),
 	}
 	n.ledger.Genesis(c.genesis)
 	// Replicas stake their deposits up front (§B assumption 2): the pool
@@ -307,6 +310,12 @@ func (c *Cluster) NewWallet(funds Amount) (*Wallet, error) {
 	for _, n := range c.nodes {
 		n.ledger = bm.NewLedger(c.scheme)
 		n.ledger.Genesis(c.genesis)
+		// Re-apply the staked deposits: rebuilding the ledger must not
+		// empty the slash pool, or merges after a fork would silently
+		// underfund the conflicting branch.
+		for _, stake := range n.stakes {
+			n.ledger.AddDeposit(stake)
+		}
 	}
 	return w, nil
 }
@@ -324,33 +333,31 @@ func (c *Cluster) Pay(w *Wallet, to Address, amount Amount) (*Transaction, error
 
 // Submit places a transaction in every replica's mempool (clients
 // broadcast requests to all replicas, §4.2) and wakes replicas that were
-// waiting for work.
+// waiting for work. The mempools share the transaction pointer, so its
+// digest is computed once for the whole cluster.
 func (c *Cluster) Submit(tx *Transaction) {
-	id := tx.ID()
 	for _, n := range c.nodes {
-		if !n.inPool[id] {
-			n.inPool[id] = true
-			n.mempool = append(n.mempool, tx)
-		}
+		n.mempool.Add(tx)
 	}
 	for _, id := range c.inner.Members {
 		c.inner.Replicas[id].Kick()
 	}
 }
 
-// EncodeBatch serializes transactions into a consensus proposal payload.
+// EncodeBatch serializes transactions into a consensus proposal payload
+// using the length-prefixed binary codec (internal/wire).
 func EncodeBatch(txs []*Transaction) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(txs); err != nil {
+	payload, err := wire.EncodeBatch(txs)
+	if err != nil {
 		return nil, fmt.Errorf("zlb: encode batch: %w", err)
 	}
-	return buf.Bytes(), nil
+	return payload, nil
 }
 
 // DecodeBatch parses a consensus proposal payload.
 func DecodeBatch(payload []byte) ([]*Transaction, error) {
-	var txs []*Transaction
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&txs); err != nil {
+	txs, err := wire.DecodeBatch(payload)
+	if err != nil {
 		return nil, fmt.Errorf("zlb: decode batch: %w", err)
 	}
 	return txs, nil
@@ -382,15 +389,11 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 			// Take up to 2000 pending transactions; an empty mempool
 			// defers the instance (Fig. 2: instances start only when
 			// requests are enqueued).
-			take := len(n.mempool)
-			if take == 0 {
+			txs := n.mempool.Take(2000)
+			if len(txs) == 0 {
 				return asmr.Batch{}
 			}
-			if take > 2000 {
-				take = 2000
-			}
-			txs := n.mempool[:take]
-			payload, err := EncodeBatch(txs)
+			payload, err := wire.EncodeBatch(txs)
 			if err != nil {
 				return asmr.Batch{}
 			}
@@ -442,11 +445,13 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 
 // blockFrom assembles the application block of a decision: the union of
 // all decided proposals' transactions in deterministic order (§4.1 ⑤).
+// Payloads are decoded through the cluster's batch cache, so the n
+// replicas committing the same decision decode it once.
 func (c *Cluster) blockFrom(k uint64, d *sbc.Decision) *bm.Block {
 	var txs []*Transaction
 	seen := make(map[types.Digest]bool)
 	for _, p := range d.OrderedProposals() {
-		batch, err := DecodeBatch(p.Payload)
+		batch, err := c.batches.Decode(p.Payload)
 		if err != nil {
 			continue
 		}
@@ -462,20 +467,7 @@ func (c *Cluster) blockFrom(k uint64, d *sbc.Decision) *bm.Block {
 }
 
 func (n *node) pruneMempool(b *bm.Block) {
-	if len(b.Txs) == 0 {
-		return
-	}
-	gone := make(map[types.Digest]bool, len(b.Txs))
-	for _, tx := range b.Txs {
-		gone[tx.ID()] = true
-	}
-	kept := n.mempool[:0]
-	for _, tx := range n.mempool {
-		if !gone[tx.ID()] {
-			kept = append(kept, tx)
-		}
-	}
-	n.mempool = kept
+	n.mempool.Prune(b.Txs)
 }
 
 // Run advances the virtual clock by d, processing all due events.
@@ -507,6 +499,13 @@ func (c *Cluster) BalanceAt(id ReplicaID, addr Address) Amount {
 // replica.
 func (c *Cluster) Height() int {
 	return c.inner.Replicas[c.observer()].CommittedCount()
+}
+
+// BlockDigests returns the digest of every block committed at the first
+// honest replica, keyed by chain index. Determinism tests compare these
+// across runs and across codec versions.
+func (c *Cluster) BlockDigests() map[uint64]types.Digest {
+	return c.nodes[c.observer()].ledger.BlockDigests()
 }
 
 // Deposit returns the slashed-deposit pool at the first honest replica.

@@ -150,3 +150,49 @@ func TestSubmitIdempotent(t *testing.T) {
 		t.Fatalf("bob = %d after duplicate submits, want exactly one transfer", got)
 	}
 }
+
+// TestRBCastVariantPayloadsMerge regression-tests the wire codec against
+// the reliable-broadcast attack's forked proposals: the coalition's
+// variant payloads carry a trailing partition tag, and the reconciliation
+// merge must still decode and merge their transactions (a codec that
+// rejects the variant silently drops the conflicting branch — the exact
+// loss Alg. 2 exists to prevent).
+func TestRBCastVariantPayloadsMerge(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:                9,
+		Deceitful:        4,
+		Attack:           ReliableBroadcastAttack,
+		PartitionDelayMs: 3000,
+		Seed:             7,
+		MaxBlocks:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.WalletFor(0)
+	bob, _ := c.WalletFor(1)
+	carol, _ := c.WalletFor(2)
+	c.Start()
+	tx1, err := c.Pay(alice, bob.Address(), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx1)
+	tx2, err := c.Pay(alice, carol.Address(), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(tx2)
+	c.RunUntilQuiet(60 * time.Minute)
+
+	if c.Disagreements() == 0 {
+		t.Fatal("attack produced no disagreements; scenario lost its bite")
+	}
+	merged := 0
+	for _, n := range c.nodes {
+		merged += n.ledger.MergedTxs
+	}
+	if merged == 0 {
+		t.Fatal("no replica merged any transaction from the forked branch: variant payloads are not decoding")
+	}
+}
