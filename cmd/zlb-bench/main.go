@@ -12,6 +12,7 @@
 //	zlb-bench -experiment catchup       # Fig. 5 right: catch-up times
 //	zlb-bench -experiment fig6          # minimum finalization blockdepth
 //	zlb-bench -experiment appendixB     # §B worked analysis
+//	zlb-bench -experiment scenarios     # staged multi-phase fault campaigns
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, scenarios, all)")
 	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
@@ -149,6 +150,19 @@ func run(experiment string, full bool, seed int64) error {
 	if all || experiment == "appendixB" {
 		ran = true
 		bench.PrintAppendixB(os.Stdout, bench.RunAppendixB())
+		fmt.Println()
+	}
+	if all || experiment == "scenarios" {
+		ran = true
+		nsScen := []int{9, 18}
+		if full {
+			nsScen = []int{9, 18, 27}
+		}
+		results, err := bench.RunScenarios(nsScen, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintScenarios(os.Stdout, results)
 		fmt.Println()
 	}
 	if !ran {

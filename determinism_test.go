@@ -1,11 +1,17 @@
 package zlb_test
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"github.com/zeroloss/zlb"
+	"github.com/zeroloss/zlb/internal/scenario"
 )
+
+var updateGoldens = flag.Bool("update", false, "rewrite the scenario golden files under testdata/")
 
 // runDeterminismScenario drives the fixed-seed workload the golden values
 // below were captured from: every transaction is submitted before Start,
@@ -92,6 +98,53 @@ func TestFixedSeedRunsIdentical(t *testing.T) {
 	}
 	if a.Now() != b.Now() {
 		t.Errorf("virtual clocks differ: %v vs %v", a.Now(), b.Now())
+	}
+}
+
+// TestScenarioGoldens pins, for every registered scenario campaign, the
+// fixed-seed per-phase metrics (throughput, disagreements,
+// detection/exclusion/inclusion times) at n=9, seed 42. Each campaign is
+// run twice: the two runs must be bit-identical (the scenario engine's
+// reproducibility contract) and must match the golden file under
+// testdata/scenario_goldens/. Regenerate the goldens after an intended
+// metric change with `go test -run TestScenarioGoldens -update`.
+func TestScenarioGoldens(t *testing.T) {
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() string {
+				s, err := scenario.Build(name, 9, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := scenario.Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Format()
+			}
+			first, second := run(), run()
+			if first != second {
+				t.Fatalf("two fixed-seed runs differ:\n--- run 1\n%s--- run 2\n%s", first, second)
+			}
+			goldenPath := filepath.Join("testdata", "scenario_goldens", name+".golden")
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(first), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if first != string(want) {
+				t.Errorf("per-phase metrics diverged from golden:\n--- got\n%s--- want\n%s", first, want)
+			}
+		})
 	}
 }
 

@@ -52,6 +52,11 @@ func (a Attack) String() string {
 	}
 }
 
+// DeceitfulCount is d = ⌈5n/9⌉ − 1, the coalition size used throughout
+// the paper's attack experiments (Fig. 4–6): a majority, yet one short
+// of the 5n/9 confirmation bound.
+func DeceitfulCount(n int) int { return (5*n+8)/9 - 1 }
+
 // MaxBranches returns the maximum number of fork branches a deceitful
 // coalition can sustain: a ≤ (n−(f−q)) / (⌈2n/3⌉−(f−q)) (paper §B, citing
 // Zeno's conflicting-histories bound). It returns 1 when the coalition is

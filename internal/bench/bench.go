@@ -310,8 +310,9 @@ type Fig4Config struct {
 }
 
 // DeceitfulCount is d = ⌈5n/9⌉ − 1, the coalition size used throughout
-// the paper's attack experiments.
-func DeceitfulCount(n int) int { return (5*n+8)/9 - 1 }
+// the paper's attack experiments (delegates to the adversary package,
+// which owns the coalition arithmetic).
+func DeceitfulCount(n int) int { return adversary.DeceitfulCount(n) }
 
 // RunFig4 reproduces Figure 4 (top: binary consensus attack; bottom:
 // reliable broadcast attack): the number of disagreeing decisions per

@@ -9,7 +9,6 @@ import (
 	"github.com/zeroloss/zlb/internal/adversary"
 	"github.com/zeroloss/zlb/internal/bm"
 	"github.com/zeroloss/zlb/internal/crypto"
-	"github.com/zeroloss/zlb/internal/harness"
 	"github.com/zeroloss/zlb/internal/payment"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
@@ -277,5 +276,3 @@ func Catastrophic(n int, seed int64) ([]Fig4Point, error) {
 	}
 	return out, nil
 }
-
-var _ = harness.Options{} // dependency documented: drivers build clusters

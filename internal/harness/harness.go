@@ -103,6 +103,12 @@ type Cluster struct {
 	// slotOutcomes[id][k][slot] is the first per-slot binary decision at
 	// replica id: the granularity Fig. 4 counts disagreements at.
 	slotOutcomes map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome
+	// metricsExcluded removes replicas from HonestMembers and every
+	// metric derived from it. The scenario engine marks replicas it
+	// crashes or sleeps: a slept replica misses dropped messages and may
+	// lag with stale slot outcomes, and the paper likewise excludes its q
+	// benign replicas from the honest readings.
+	metricsExcluded map[types.ReplicaID]bool
 }
 
 // New builds the cluster. Replica IDs 1..N are the committee; IDs
@@ -286,11 +292,23 @@ func (c *Cluster) HonestMembers() []types.ReplicaID {
 		benign[c.Members[c.Opts.N-1-i]] = true
 	}
 	for _, id := range c.Members {
-		if !c.Coalition.IsDeceitful(id) && !benign[id] {
+		if !c.Coalition.IsDeceitful(id) && !benign[id] && !c.metricsExcluded[id] {
 			out = append(out, id)
 		}
 	}
 	return out
+}
+
+// ExcludeFromMetrics removes replicas from the honest metric readings
+// permanently (a replica that slept through instances may lag for the
+// rest of the run, so it is not reinstated on wake).
+func (c *Cluster) ExcludeFromMetrics(ids ...types.ReplicaID) {
+	if c.metricsExcluded == nil {
+		c.metricsExcluded = make(map[types.ReplicaID]bool)
+	}
+	for _, id := range ids {
+		c.metricsExcluded[id] = true
+	}
 }
 
 // slotOutcome is one honest replica's decided outcome for a slot.
@@ -497,6 +515,76 @@ func (c *Cluster) ConvergedAgreement() bool {
 		}
 	}
 	return deceitful < types.FaultThreshold(len(ref))
+}
+
+// Snapshot is a cumulative point-in-time reading of every metric the
+// scenario engine diffs across fault phases (internal/scenario). All
+// counters are totals since the start of the run; per-phase values are
+// obtained by subtracting two snapshots.
+type Snapshot struct {
+	// At is the virtual clock when the snapshot was taken.
+	At time.Duration
+	// Committed is the instance count at the first honest replica.
+	Committed int
+	// Txs is the claimed transactions committed at the first honest
+	// replica.
+	Txs int
+	// Disagreements is the Fig. 4 disagreement count so far.
+	Disagreements int
+	// Culprits is how many provably deceitful replicas the first honest
+	// replica has PoFs on.
+	Culprits int
+	// Detected reports the fd = ⌈n/3⌉ detection threshold (Fig. 5 left);
+	// DetectedAt is the earliest honest replica's absolute detection time.
+	Detected   bool
+	DetectedAt time.Duration
+	// Excluded / Included report membership-change progress at the first
+	// honest replica that completed a change, with absolute times.
+	Excluded   bool
+	ExcludedAt time.Duration
+	Included   bool
+	IncludedAt time.Duration
+	// Delivered / Dropped / BytesSent mirror the simulator counters.
+	Delivered int
+	Dropped   int
+	BytesSent int64
+}
+
+// Snapshot reads the current cumulative metrics.
+func (c *Cluster) Snapshot() Snapshot {
+	s := Snapshot{
+		At:            c.Net.Now(),
+		Disagreements: c.Disagreements(),
+		Delivered:     c.Net.Delivered,
+		Dropped:       c.Net.Dropped,
+		BytesSent:     c.Net.BytesSent,
+	}
+	honest := c.HonestMembers()
+	if len(honest) > 0 {
+		first := honest[0]
+		s.Committed = len(c.Commits[first])
+		for _, commit := range c.Commits[first] {
+			s.Txs += commit.Decision.TotalClaimedTx()
+		}
+		s.Culprits = len(c.Replicas[first].Log().Culprits())
+	}
+	if at, ok := c.DetectionTime(); ok {
+		s.Detected = true
+		s.DetectedAt = at
+	}
+	for _, id := range honest {
+		for _, res := range c.ChangeResults[id] {
+			if !s.Excluded || res.ExcludedAt < s.ExcludedAt {
+				s.Excluded = true
+				s.ExcludedAt = res.ExcludedAt
+			}
+			if !s.Included || res.IncludedAt < s.IncludedAt {
+				s.Included = true
+				s.IncludedAt = res.IncludedAt
+			}
+		}
+	}
+	return s
 }
 
 // CulpritsDetected returns the culprits known to the first honest replica.

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/harness"
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Builder constructs a registered campaign for a committee size and seed.
+type Builder struct {
+	Name        string
+	Description string
+	Build       func(n int, seed int64) Scenario
+}
+
+// builders is the ordered registry; Names and Campaigns preserve
+// registration order so reports are deterministic.
+var builders = []Builder{
+	{
+		Name: "attack-detect-exclude-merge",
+		Description: "binary consensus attack behind a staged honest partition: " +
+			"fork, heal, detect, exclude the coalition, merge the branches",
+		Build: buildAttackDetectExcludeMerge(adversary.AttackBinary),
+	},
+	{
+		Name: "rbcast-fork-merge",
+		Description: "reliable-broadcast equivocation behind a staged partition, " +
+			"then the same detect/exclude/merge recovery arc",
+		Build: buildAttackDetectExcludeMerge(adversary.AttackRBCast),
+	},
+	{
+		Name: "partial-coalition",
+		Description: "a coalition too small to sustain two branches attacks " +
+			"behind a partition and achieves nothing: no disagreement, no fork",
+		Build: buildPartialCoalition,
+	},
+	{
+		Name: "churn-under-load",
+		Description: "waves of benign crash/wake churn while the chain keeps " +
+			"committing: throughput dips, no safety impact",
+		Build: buildChurnUnderLoad,
+	},
+	{
+		Name: "partition-then-heal",
+		Description: "an honest network split stalls both halves below quorum, " +
+			"then heals: liveness pauses and recovers, safety holds",
+		Build: buildPartitionThenHeal,
+	},
+	{
+		Name: "slow-proposer",
+		Description: "one correct replica delivers everything a second late: " +
+			"rounds stretch but consensus proceeds without it",
+		Build: buildSlowProposer,
+	},
+}
+
+// Names lists the registered campaigns in registration order.
+func Names() []string {
+	out := make([]string, len(builders))
+	for i, b := range builders {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Campaigns returns the registered builders in registration order.
+func Campaigns() []Builder {
+	out := make([]Builder, len(builders))
+	copy(out, builders)
+	return out
+}
+
+// Build constructs a registered campaign by name, stamping the
+// registry description onto the scenario.
+func Build(name string, n int, seed int64) (Scenario, error) {
+	for _, b := range builders {
+		if b.Name == name {
+			s := b.Build(n, seed)
+			if s.Description == "" {
+				s.Description = b.Description
+			}
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown campaign %q (have %v)", name, Names())
+}
+
+// ScenarioBatchTxs is the claimed per-proposal batch used by every
+// campaign: large enough that the cost model's signature verification
+// shapes round times, small enough that long multi-phase runs stay fast.
+const ScenarioBatchTxs = 1000
+
+// baseOpts is the cluster configuration shared by every campaign: the
+// jittered AWS latency matrix, the c4.xlarge cost model, and full ZLB
+// (accountable + recover).
+func baseOpts(n int, seed int64) harness.Options {
+	return harness.Options{
+		N:           n,
+		Accountable: true,
+		Recover:     true,
+		BaseLatency: latency.Jittered(latency.NewAWSMatrix(), 0.2),
+		Cost:        simnet.DefaultCostModel(),
+		Seed:        seed,
+		BatchTxs:    ScenarioBatchTxs,
+		BatchBytes:  400 * ScenarioBatchTxs,
+	}
+}
+
+// subThresholdCoalition is the largest d that cannot sustain a fork
+// (adversary.MaxBranches == 1): the "partial coalition" below the
+// forking threshold.
+func subThresholdCoalition(n int) int {
+	d := 1
+	for x := 1; x < n; x++ {
+		if adversary.MaxBranches(n, x) != 1 {
+			break
+		}
+		d = x
+	}
+	return d
+}
+
+// fastRounds is the attack-experiment coordinator timeout (see
+// internal/bench): short enough that a partition finishes its instance
+// before conflicting evidence crosses the injected delay.
+func fastRounds(r types.Round) time.Duration {
+	return 120 * time.Millisecond * time.Duration(r+1)
+}
+
+// steadyRounds is the throughput-experiment coordinator timeout.
+func steadyRounds(r types.Round) time.Duration {
+	return 600 * time.Millisecond * time.Duration(r+1)
+}
+
+// buildAttackDetectExcludeMerge stages the full Fig. 2 arc for either
+// coalition attack: the honest partition is a fault of the first phase
+// only, so healing it is what lets cross-partition evidence flow.
+func buildAttackDetectExcludeMerge(attack adversary.Attack) func(n int, seed int64) Scenario {
+	return func(n int, seed int64) Scenario {
+		opts := baseOpts(n, seed)
+		opts.Deceitful = adversary.DeceitfulCount(n)
+		opts.Attack = attack
+		opts.MaxInstances = 4
+		opts.CoordTimeout = fastRounds
+		// A 5 s stall (§5.3's catastrophic delay) keeps each partition
+		// deciding alone for the whole fork phase; healing it is what
+		// lets the conflicting certificates cross.
+		partition := &CoalitionPartition{Extra: 5 * time.Second}
+		name := "attack-detect-exclude-merge"
+		if attack == adversary.AttackRBCast {
+			name = "rbcast-fork-merge"
+		}
+		return Scenario{
+			Name: name,
+			Opts: opts,
+			Phases: []Phase{
+				{Name: "fork", Duration: 6 * time.Second, Faults: []Fault{partition}},
+				{Name: "heal-detect", Duration: 6 * time.Second},
+				{Name: "exclude-include", Duration: 12 * time.Second},
+			},
+			Drain: 10 * time.Minute,
+		}
+	}
+}
+
+// buildPartialCoalition attacks with a coalition below the forking
+// threshold: MaxBranches is 1, so the equivocation degenerates into
+// consistent votes — no disagreement, no PoFs, the chain just commits.
+// The coalition plan has a single honest partition (CoalitionPartition
+// would be a no-op), so the attack phase stalls an explicit honest
+// split instead: even with the network genuinely degraded, a
+// sub-threshold coalition cannot fork.
+func buildPartialCoalition(n int, seed int64) Scenario {
+	opts := baseOpts(n, seed)
+	opts.Deceitful = subThresholdCoalition(n)
+	opts.Attack = adversary.AttackBinary
+	opts.MaxInstances = 20
+	opts.CoordTimeout = fastRounds
+	opts.PoolSize = 1 // no membership change can trigger
+	partition := &Partition{Groups: honestHalves(n, opts.Deceitful), Extra: 800 * time.Millisecond}
+	return Scenario{
+		Name: "partial-coalition",
+		Opts: opts,
+		Phases: []Phase{
+			{Name: "attack", Duration: 12 * time.Second, Faults: []Fault{partition}},
+			{Name: "steady", Duration: 12 * time.Second},
+		},
+		Drain: 2 * time.Minute,
+	}
+}
+
+// honestHalves splits the honest committee members (IDs d+1..n) into two
+// groups, leaving the d deceitful replicas unlisted — unrestricted, the
+// §5.2 convention that attackers talk to every partition at full speed.
+func honestHalves(n, deceitful int) [][]types.ReplicaID {
+	honest := n - deceitful
+	var a, b []types.ReplicaID
+	for i := deceitful + 1; i <= n; i++ {
+		if i-deceitful <= honest/2 {
+			a = append(a, types.ReplicaID(i))
+		} else {
+			b = append(b, types.ReplicaID(i))
+		}
+	}
+	return [][]types.ReplicaID{a, b}
+}
+
+// buildChurnUnderLoad sleeps two successive waves of benign replicas
+// under continuous load. A replica that slept through an instance stays
+// behind after waking (catch-up is only wired for joiners), so the waves
+// are sized to keep sleepers-plus-laggards within the quorum margin
+// n − ⌈2n/3⌉ and commits continue throughout.
+func buildChurnUnderLoad(n int, seed int64) Scenario {
+	opts := baseOpts(n, seed)
+	opts.MaxInstances = 24
+	opts.CoordTimeout = steadyRounds
+	opts.PoolSize = 1
+	wave := (n - types.Quorum(n)) / 2
+	if wave < 1 {
+		wave = 1
+	}
+	waveA := make([]types.ReplicaID, 0, wave)
+	waveB := make([]types.ReplicaID, 0, wave)
+	for i := 0; i < wave; i++ {
+		waveA = append(waveA, types.ReplicaID(n-i))
+		waveB = append(waveB, types.ReplicaID(n-wave-i))
+	}
+	return Scenario{
+		Name: "churn-under-load",
+		Opts: opts,
+		Phases: []Phase{
+			{Name: "warmup", Duration: 8 * time.Second},
+			{Name: "churn-a", Duration: 10 * time.Second, Faults: []Fault{&Sleep{IDs: waveA}}},
+			{Name: "churn-b", Duration: 10 * time.Second, Faults: []Fault{&Sleep{IDs: waveB}}},
+			{Name: "recover", Duration: 12 * time.Second},
+		},
+	}
+}
+
+// buildPartitionThenHeal splits the honest committee in half with a 3 s
+// stall: neither half reaches the ⌈2n/3⌉ quorum, so commits pause until
+// the stalled traffic lands after the heal.
+func buildPartitionThenHeal(n int, seed int64) Scenario {
+	opts := baseOpts(n, seed)
+	opts.MaxInstances = 24
+	opts.CoordTimeout = steadyRounds
+	opts.PoolSize = 1
+	half := n / 2
+	groupA := make([]types.ReplicaID, 0, half)
+	groupB := make([]types.ReplicaID, 0, n-half)
+	for i := 1; i <= n; i++ {
+		if i <= half {
+			groupA = append(groupA, types.ReplicaID(i))
+		} else {
+			groupB = append(groupB, types.ReplicaID(i))
+		}
+	}
+	split := &Partition{Groups: [][]types.ReplicaID{groupA, groupB}, Extra: 3 * time.Second}
+	return Scenario{
+		Name: "partition-then-heal",
+		Opts: opts,
+		Phases: []Phase{
+			{Name: "healthy", Duration: 8 * time.Second},
+			{Name: "partitioned", Duration: 12 * time.Second, Faults: []Fault{split}},
+			{Name: "healed", Duration: 12 * time.Second},
+		},
+	}
+}
+
+// buildSlowProposer delays everything the highest-ID replica sends by one
+// second: its slot times out or decides late, the rest of the committee
+// carries on.
+func buildSlowProposer(n int, seed int64) Scenario {
+	opts := baseOpts(n, seed)
+	opts.MaxInstances = 24
+	opts.CoordTimeout = steadyRounds
+	opts.PoolSize = 1
+	slow := &SlowReplica{ID: types.ReplicaID(n), Extra: time.Second}
+	return Scenario{
+		Name: "slow-proposer",
+		Opts: opts,
+		Phases: []Phase{
+			{Name: "healthy", Duration: 8 * time.Second},
+			{Name: "slow", Duration: 12 * time.Second, Faults: []Fault{slow}},
+			{Name: "recovered", Duration: 10 * time.Second},
+		},
+	}
+}

@@ -249,6 +249,15 @@ type Network struct {
 	// DropRule, if set, drops matching messages (benign omission faults,
 	// network partitions with full loss). Return true to drop.
 	DropRule func(from, to types.ReplicaID, msg Message) bool
+
+	// DelayRule, if set, returns extra delivery delay added on top of the
+	// latency model (degraded links, slow replicas, partitions that stall
+	// but do not lose traffic). It is consulted at send time, so swapping
+	// the rule mid-run affects only messages sent afterwards — messages
+	// already in flight keep their original arrival time. Self-sends are
+	// never delayed. Both rules may be reassigned between Run calls; the
+	// scenario engine (internal/scenario) drives them per fault phase.
+	DelayRule func(from, to types.ReplicaID, msg Message) time.Duration
 }
 
 // New creates a simulated network.
@@ -357,6 +366,9 @@ func (s *nodeState) Send(to types.ReplicaID, msg Message) {
 		delay = 0
 	} else {
 		delay = n.cfg.Latency.Delay(s.id, to, n.rng)
+		if n.DelayRule != nil {
+			delay += n.DelayRule(s.id, to, msg)
+		}
 	}
 	n.seq++
 	n.pq.push(event{
@@ -478,6 +490,33 @@ func (n *Network) RunUntilQuiet(maxTime time.Duration) int {
 
 // Pending reports how many events are queued.
 func (n *Network) Pending() int { return n.pq.Len() }
+
+// --- Fault-injection predicates ---
+
+// PartitionDrop returns a DropRule severing links between nodes in
+// different groups. groupOf maps a node to its group; nodes mapped to a
+// negative group are unrestricted (they reach, and are reached by,
+// everyone) — the same convention as latency.PartitionOverlay.
+func PartitionDrop(groupOf func(types.ReplicaID) int) func(from, to types.ReplicaID, msg Message) bool {
+	return func(from, to types.ReplicaID, _ Message) bool {
+		gf, gt := groupOf(from), groupOf(to)
+		return gf >= 0 && gt >= 0 && gf != gt
+	}
+}
+
+// PartitionDelay returns a DelayRule charging extra delay on links
+// between nodes in different groups: a partition that stalls traffic but
+// eventually delivers it, the network condition of the paper's coalition
+// attacks (§5.2). Negative groups are unrestricted.
+func PartitionDelay(groupOf func(types.ReplicaID) int, extra time.Duration) func(from, to types.ReplicaID, msg Message) time.Duration {
+	return func(from, to types.ReplicaID, _ Message) time.Duration {
+		gf, gt := groupOf(from), groupOf(to)
+		if gf >= 0 && gt >= 0 && gf != gt {
+			return extra
+		}
+		return 0
+	}
+}
 
 // Inject delivers a message to a node from an external source (e.g., a
 // client submitting a transaction) at the current clock plus the given

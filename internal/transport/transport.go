@@ -5,6 +5,16 @@
 // and redialed with backoff; message authenticity is end-to-end (every
 // accountable statement is signed), so the transport only provides
 // framing and ordering, exactly like the paper's raw TCP replica links.
+//
+// Framing deliberately still uses encoding/gob while the consensus
+// payload internals (transaction batches, PoF sets, replica lists)
+// moved to the binary codecs of internal/wire: the transport must
+// round-trip ~25 heterogeneous protocol message types behind one
+// interface, which gob's self-describing streams handle with a single
+// RegisterWireTypes call, and peer framing is not on the simulator's
+// benchmarked hot path — the wire codecs are, because their payloads
+// are built and decoded inside consensus. A replica therefore sends
+// gob-framed messages whose payload bytes are wire-encoded.
 package transport
 
 import (

@@ -69,8 +69,10 @@ type Transaction struct {
 	Sender  crypto.PublicKey
 	Sig     crypto.Signature
 
-	// Memoized derived values (unexported: skipped by gob, excluded from
-	// the canonical encoding).
+	// Memoized derived values. Unexported on purpose: excluded from the
+	// canonical encoding (internal/wire frames transactions by those
+	// bytes) and invisible to the TCP transport's gob frames, so cached
+	// state never leaks onto either wire.
 	enc       []byte // canonical encoding, signature included
 	id        types.Digest
 	sigDigest types.Digest

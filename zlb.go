@@ -16,8 +16,11 @@
 // experimentation and testing. Protocol internals live under internal/:
 // the accountable SBC stack (rbc, bincon, sbc), accountability
 // (statements, certificates, PoFs), the ASMR orchestration, the UTXO
-// ledger and the block-merge logic, as well as the baselines (HotStuff,
-// Red Belly and Polygraph modes) used by the paper's evaluation.
+// ledger, the indexed mempool and the block-merge logic, the binary
+// wire codecs (internal/wire) framing batches and proofs, as well as
+// the baselines (HotStuff, Red Belly and Polygraph modes) and the
+// staged fault campaigns (internal/scenario) used by the evaluation.
+// See ARCHITECTURE.md for the paper-to-package map.
 //
 // Quickstart:
 //
