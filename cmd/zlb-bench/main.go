@@ -29,17 +29,26 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, scenarios, all)")
 	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	jsonDir := flag.String("json", "", "also emit machine-readable BENCH_<experiment>.json files into this directory")
 	flag.Parse()
 
 	start := time.Now()
-	if err := run(*experiment, *full, *seed); err != nil {
+	if err := run(*experiment, *full, *seed, *jsonDir); err != nil {
 		fmt.Fprintf(os.Stderr, "zlb-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "\n[%v elapsed]\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(experiment string, full bool, seed int64) error {
+func run(experiment string, full bool, seed int64, jsonDir string) error {
+	// emit mirrors an experiment's points into BENCH_<name>.json when
+	// -json is set, so the perf trajectory is tracked across PRs.
+	emit := func(name string, data any) error {
+		if jsonDir == "" {
+			return nil
+		}
+		return bench.WriteJSON(jsonDir, name, seed, full, data)
+	}
 	ns := []int{10, 20, 30}
 	nsAttack := []int{9, 18, 27}
 	delays := smallDelays()
@@ -59,6 +68,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintFig3(os.Stdout, points)
+		if err := emit("fig3", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "fig4top" {
@@ -70,6 +82,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintFig4(os.Stdout, points)
+		if err := emit("fig4top", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "fig4bottom" {
@@ -81,6 +96,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintFig4(os.Stdout, points)
+		if err := emit("fig4bottom", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "catastrophic" {
@@ -95,6 +113,9 @@ func run(experiment string, full bool, seed int64) error {
 		}
 		fmt.Printf("# §5.3: catastrophic partition delays, n=%d\n", n)
 		bench.PrintFig4(os.Stdout, points)
+		if err := emit("catastrophic", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "table1" {
@@ -104,6 +125,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintTable1(os.Stdout, rows)
+		if err := emit("table1", rows); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "fig5" {
@@ -117,6 +141,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintFig5(os.Stdout, points)
+		if err := emit("fig5", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "catchup" {
@@ -132,6 +159,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintCatchup(os.Stdout, points)
+		if err := emit("catchup", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "fig6" {
@@ -145,11 +175,18 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintFig6(os.Stdout, points)
+		if err := emit("fig6", points); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "appendixB" {
 		ran = true
-		bench.PrintAppendixB(os.Stdout, bench.RunAppendixB())
+		rows := bench.RunAppendixB()
+		bench.PrintAppendixB(os.Stdout, rows)
+		if err := emit("appendixB", rows); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if all || experiment == "scenarios" {
@@ -163,6 +200,9 @@ func run(experiment string, full bool, seed int64) error {
 			return err
 		}
 		bench.PrintScenarios(os.Stdout, results)
+		if err := emit("scenarios", results); err != nil {
+			return err
+		}
 		fmt.Println()
 	}
 	if !ran {

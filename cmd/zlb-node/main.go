@@ -10,6 +10,17 @@
 //	zlb-node -id 3 -n 4 -listen :7003 -peers ...
 //	zlb-node -id 4 -n 4 -listen :7004 -peers ...
 //
+// With -data-dir the replica persists its chain to a durable block store
+// (internal/store): committed blocks and reconciliation merges write
+// through, a UTXO checkpoint is cut every -checkpoint-every blocks, and
+// a node killed mid-run recovers its full chain and ledger on restart
+// from the same directory, then pulls the instances it missed from its
+// peers through certificate-verified catch-up. With -sync, a node whose
+// data directory is empty first bootstraps from its peers' stores —
+// latest checkpoint plus log tail, cross-checked across responders —
+// instead of replaying from genesis; this is the standby catch-up path
+// of the paper's membership change.
+//
 // The demo PKI derives every replica's key pair from -seed; production
 // deployments load per-replica keys instead.
 package main
@@ -22,6 +33,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/asmr"
@@ -31,6 +43,7 @@ import (
 	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/store"
 	"github.com/zeroloss/zlb/internal/transport"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
@@ -43,6 +56,9 @@ func main() {
 	listen := flag.String("listen", "", "listen address, e.g. :7001")
 	peersFlag := flag.String("peers", "", "comma-separated peer addresses in ID order (1..n)")
 	seed := flag.Int64("seed", 1, "shared PKI seed (demo key derivation)")
+	dataDir := flag.String("data-dir", "", "durable block store directory (empty = in-memory only)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 16, "blocks between UTXO checkpoints")
+	sync := flag.Bool("sync", false, "bootstrap an empty -data-dir from peers (checkpoint + log tail) before joining")
 	flag.Parse()
 
 	if *id == 0 || *listen == "" || *peersFlag == "" {
@@ -54,55 +70,159 @@ func main() {
 		log.Fatalf("got %d peer addresses for n=%d", len(addrs), *n)
 	}
 
-	if err := run(types.ReplicaID(*id), *n, *listen, addrs, *seed); err != nil {
+	rn, err := newReplicaNode(nodeConfig{
+		Self:            types.ReplicaID(*id),
+		N:               *n,
+		Listen:          *listen,
+		Peers:           addrs,
+		Seed:            *seed,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
+		Sync:            *sync,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		rn.Close()
+	}()
+	if err := rn.Serve(); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64) error {
+// nodeConfig parameterizes one replica process.
+type nodeConfig struct {
+	Self            types.ReplicaID
+	N               int
+	Listen          string
+	Peers           []string // addresses in ID order (1..n)
+	Seed            int64
+	DataDir         string
+	CheckpointEvery uint64
+	Sync            bool
+	// SyncTimeout bounds the bootstrap wait for peer responses (default 5s).
+	SyncTimeout time.Duration
+	Logf        func(format string, args ...any)
+}
+
+// replicaNode is one running replica: transport node, consensus replica,
+// payment state and (optionally) the durable store.
+type replicaNode struct {
+	cfg      nodeConfig
+	node     *transport.Node
+	replica  *asmr.Replica
+	pool     *mempool.Pool
+	batches  *wire.BatchCache
+	txScheme crypto.Scheme
+	faucet   utxo.Address
+
+	// All fields below are touched only on the transport event loop.
+	ledger *bm.Ledger
+	st     *store.Store
+
+	started   bool
+	syncPeers []types.ReplicaID
+	syncResps map[types.ReplicaID]*wire.SyncResp
+	syncOver  bool
+
+	// served closes when Serve has exited and the store is closed.
+	served chan struct{}
+}
+
+// syncDeadline is the timer payload bounding the bootstrap wait;
+// syncRetry re-requests unanswered peers halfway through (a response
+// can be lost to a connection the peer cached before we came up).
+type (
+	syncDeadline struct{}
+	syncRetry    struct{}
+)
+
+func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	transport.RegisterWireTypes()
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.SyncTimeout == 0 {
+		cfg.SyncTimeout = 5 * time.Second
+	}
 
-	signers, _, err := crypto.GenerateCluster(crypto.SchemeEd25519, n, seed)
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeEd25519, cfg.N, cfg.Seed)
 	if err != nil {
-		return fmt.Errorf("deriving demo PKI: %w", err)
+		return nil, fmt.Errorf("deriving demo PKI: %w", err)
 	}
-	members := make([]types.ReplicaID, n)
-	peers := make(map[types.ReplicaID]string, n)
-	for i := 0; i < n; i++ {
+	members := make([]types.ReplicaID, cfg.N)
+	peers := make(map[types.ReplicaID]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
 		members[i] = types.ReplicaID(i + 1)
-		peers[types.ReplicaID(i+1)] = addrs[i]
+		peers[types.ReplicaID(i+1)] = cfg.Peers[i]
 	}
 
-	node := transport.NewNode(transport.Config{Self: self, Listen: listen, Peers: peers})
+	rn := &replicaNode{
+		cfg:       cfg,
+		pool:      mempool.New(),
+		batches:   wire.NewBatchCache(0),
+		syncResps: make(map[types.ReplicaID]*wire.SyncResp),
+		served:    make(chan struct{}),
+	}
+	rn.node = transport.NewNode(transport.Config{Self: cfg.Self, Listen: cfg.Listen, Peers: peers})
 
 	// Payment application state.
 	txReg := crypto.NewRegistry(crypto.SchemeEd25519)
 	txScheme, err := crypto.NewScheme(crypto.SchemeEd25519, txReg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	ledger := bm.NewLedger(txScheme)
-	// Demo genesis: one faucet account derived from the shared seed.
-	faucetKP, err := txScheme.GenerateKey(crypto.NewDeterministicRand(seed ^ 0xFA0CE7))
+	rn.txScheme = txScheme
+	faucetKP, err := txScheme.GenerateKey(crypto.NewDeterministicRand(cfg.Seed ^ 0xFA0CE7))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	faucet := utxo.AddressOf(faucetKP.Public())
-	ledger.Genesis(map[utxo.Address]types.Amount{faucet: 1_000_000_000})
+	rn.faucet = utxo.AddressOf(faucetKP.Public())
 
-	pool := mempool.New()
-	batches := wire.NewBatchCache(0)
+	// Durable store + ledger recovery.
+	var restored []asmr.RestoredBlock
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{CheckpointEvery: cfg.CheckpointEvery, Fsync: true})
+		if err != nil {
+			return nil, err
+		}
+		rn.st = st
+		if _, hasBlocks := st.LastK(); hasBlocks {
+			ledger, err := st.Recover(txScheme, rn.seedGenesis)
+			if err != nil {
+				return nil, fmt.Errorf("recovering chain: %w", err)
+			}
+			rn.ledger = ledger
+			for _, rec := range st.BlockRecords() {
+				restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})
+			}
+			cfg.Logf("recovered chain from %s: height %d, lastK %d, faucet=%d",
+				cfg.DataDir, ledger.Height(), ledger.LastK(), ledger.Table().Balance(rn.faucet))
+		}
+	}
+	if rn.ledger == nil {
+		rn.ledger = bm.NewLedger(txScheme)
+		rn.seedGenesis(rn.ledger)
+	}
 
-	replica := asmr.NewReplica(asmr.Config{
-		Self:             self,
-		Signer:           signers[int(self)-1],
-		Env:              node,
+	rn.replica = asmr.NewReplica(asmr.Config{
+		Self:             cfg.Self,
+		Signer:           signers[int(cfg.Self)-1],
+		Env:              rn.node,
 		InitialCommittee: members,
 		Accountable:      true,
 		Recover:          true,
 		WaitForWork:      true,
 		BatchSource: func(k uint64) asmr.Batch {
-			txs := pool.Take(2000)
+			txs := rn.pool.Take(2000)
 			if len(txs) == 0 {
 				return asmr.Batch{}
 			}
@@ -112,66 +232,269 @@ func run(self types.ReplicaID, n int, listen string, addrs []string, seed int64)
 			}
 			return asmr.Batch{Payload: data, ClaimedSigs: len(txs)}
 		},
-		OnCommit: func(k uint64, _ uint32, d *sbc.Decision) {
-			block := blockFrom(k, d, batches)
-			applied := ledger.CommitBlock(block)
-			pool.Prune(block.Txs)
-			log.Printf("block %d committed: %d txs applied, height %d, faucet=%d",
-				k, applied, ledger.Height(), ledger.Table().Balance(faucet))
+		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
+			block := blockFrom(k, d, rn.batches)
+			applied := rn.ledger.CommitBlock(block)
+			rn.persist(block, attempt, false)
+			rn.pool.Prune(block.Txs)
+			cfg.Logf("block %d committed: %d txs applied, height %d, faucet=%d",
+				k, applied, rn.ledger.Height(), rn.ledger.Table().Balance(rn.faucet))
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
-			block := blockFrom(k, remote, batches)
-			merged := ledger.MergeBlock(block)
-			log.Printf("fork at block %d reconciled: %d txs merged", k, merged)
+			block := blockFrom(k, remote, rn.batches)
+			merged := rn.ledger.MergeBlock(block)
+			rn.persist(block, 0, true)
+			cfg.Logf("fork at block %d reconciled: %d txs merged", k, merged)
 		},
 		OnPoF: func(p accountability.PoF) {
-			log.Printf("proof of fraud against replica %v", p.Culprit)
+			cfg.Logf("proof of fraud against replica %v", p.Culprit)
 		},
 		OnMembershipChange: func(res *membership.Result) {
-			log.Printf("membership change: excluded %v, included %v", res.Excluded, res.Included)
+			cfg.Logf("membership change: excluded %v, included %v", res.Excluded, res.Included)
 		},
 	})
+	if len(restored) > 0 {
+		rn.replica.Restore(restored)
+	}
 
-	handler := &appHandler{node: node, replica: replica, pool: pool}
-	node.SetHandler(handler)
+	handler := &appHandler{rn: rn}
+	rn.node.SetHandler(handler)
 
-	node.Do(func() { replica.Start() })
-	log.Printf("replica %v listening on %s (n=%d)", self, listen, n)
-
-	// Graceful shutdown on SIGINT/SIGTERM.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	go func() {
-		<-sig
-		log.Printf("shutting down")
-		node.Close()
-	}()
-	return node.Serve()
+	// Launch sequencing runs on the event loop: either straight into
+	// consensus, or after the standby bootstrap completes.
+	rn.node.Do(func() {
+		if cfg.Sync && rn.st != nil && len(restored) == 0 {
+			rn.beginSync()
+			return
+		}
+		rn.start(len(restored) > 0)
+	})
+	cfg.Logf("replica %v listening on %s (n=%d)", cfg.Self, cfg.Listen, cfg.N)
+	return rn, nil
 }
 
-// appHandler intercepts client SubmitTx requests and forwards everything
-// else to the replica.
+// seedGenesis seeds a fresh ledger with the demo genesis: one faucet
+// account derived from the shared seed.
+func (rn *replicaNode) seedGenesis(l *bm.Ledger) {
+	l.Genesis(map[utxo.Address]types.Amount{rn.faucet: 1_000_000_000})
+}
+
+// start launches consensus; recovered reports whether a persisted chain
+// was restored, in which case the replica asks its peers for the
+// instances decided while it was down.
+func (rn *replicaNode) start(recovered bool) {
+	if rn.started {
+		return
+	}
+	rn.started = true
+	rn.replica.Start()
+	if recovered {
+		rn.replica.RequestCatchup()
+	}
+}
+
+// persist writes a block through to the store and cuts a checkpoint when
+// due. Persistence failures are fatal for a durable node: continuing
+// would silently break the recovery contract.
+func (rn *replicaNode) persist(b *bm.Block, attempt uint32, merge bool) {
+	if rn.st == nil {
+		return
+	}
+	var err error
+	if merge {
+		err = rn.st.AppendMerge(b, attempt)
+	} else {
+		err = rn.st.AppendBlock(b, attempt)
+	}
+	if err == nil && rn.st.ShouldCheckpoint() {
+		err = rn.st.WriteCheckpoint(rn.ledger.CheckpointState())
+	}
+	if err == nil {
+		err = rn.st.Flush()
+	}
+	if err != nil {
+		log.Fatalf("persisting block %d: %v", b.K, err)
+	}
+}
+
+// --- Standby bootstrap (store-level catch-up) ---
+
+// beginSync asks every peer for its checkpoint + log tail and arms the
+// deadline; responses are cross-checked before installing.
+func (rn *replicaNode) beginSync() {
+	req := &wire.SyncReq{FromK: 1, WantCheckpoint: true}
+	payload := wire.EncodeSyncReq(req)
+	for i := 1; i <= rn.cfg.N; i++ {
+		id := types.ReplicaID(i)
+		if id == rn.cfg.Self {
+			continue
+		}
+		rn.syncPeers = append(rn.syncPeers, id)
+		rn.node.Send(id, &transport.SyncFrame{Req: true, Payload: payload})
+	}
+	if len(rn.syncPeers) == 0 {
+		rn.start(false)
+		return
+	}
+	rn.node.SetTimer(rn.cfg.SyncTimeout/2, syncRetry{})
+	rn.node.SetTimer(rn.cfg.SyncTimeout, syncDeadline{})
+	rn.cfg.Logf("bootstrapping from %d peers", len(rn.syncPeers))
+}
+
+// retrySync re-sends the bootstrap request to peers that have not
+// answered yet.
+func (rn *replicaNode) retrySync() {
+	if rn.syncOver || rn.started {
+		return
+	}
+	payload := wire.EncodeSyncReq(&wire.SyncReq{FromK: 1, WantCheckpoint: true})
+	for _, id := range rn.syncPeers {
+		if _, ok := rn.syncResps[id]; !ok {
+			rn.node.Send(id, &transport.SyncFrame{Req: true, Payload: payload})
+		}
+	}
+}
+
+// onSyncFrame serves requests from our store and collects responses
+// during a bootstrap.
+func (rn *replicaNode) onSyncFrame(from types.ReplicaID, f *transport.SyncFrame) {
+	if f.Req {
+		if rn.st == nil {
+			return
+		}
+		req, err := wire.DecodeSyncReq(f.Payload)
+		if err != nil {
+			return
+		}
+		resp, err := rn.st.BuildSyncResp(req)
+		if err != nil {
+			rn.cfg.Logf("building sync response: %v", err)
+			return
+		}
+		rn.node.Send(from, &transport.SyncFrame{Payload: wire.EncodeSyncResp(resp)})
+		return
+	}
+	if rn.syncOver || rn.started {
+		return
+	}
+	resp, err := wire.DecodeSyncResp(f.Payload)
+	if err != nil {
+		return
+	}
+	if _, dup := rn.syncResps[from]; dup {
+		return
+	}
+	rn.syncResps[from] = resp
+	if len(rn.syncResps) == len(rn.syncPeers) {
+		rn.finishSync()
+	}
+}
+
+// finishSync cross-checks the collected responses (a majority of the
+// queried peers must agree on the chain) and installs the winner into
+// the store + ledger, then joins consensus.
+func (rn *replicaNode) finishSync() {
+	if rn.syncOver {
+		return
+	}
+	rn.syncOver = true
+	resps := make([]*wire.SyncResp, 0, len(rn.syncPeers))
+	for _, id := range rn.syncPeers {
+		resps = append(resps, rn.syncResps[id]) // nil for silent peers
+	}
+	best, err := store.CrossCheck(resps)
+	if err == nil {
+		var ledger *bm.Ledger
+		ledger, err = store.InstallSync(rn.st, rn.txScheme, best, rn.seedGenesis)
+		if err == nil {
+			rn.ledger = ledger
+			restored := make([]asmr.RestoredBlock, 0)
+			for _, rec := range rn.st.BlockRecords() {
+				restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})
+			}
+			rn.replica.Restore(restored)
+			rn.cfg.Logf("bootstrap installed: height %d, lastK %d", ledger.Height(), ledger.LastK())
+			rn.start(true)
+			return
+		}
+	}
+	// Roll back before falling back: an install that failed midway (I/O
+	// error after the verify phase) may have left foreign state in the
+	// store, and running from genesis on top of it would corrupt every
+	// future recovery. The directory was empty before the bootstrap
+	// (sync only runs on an empty store), so wiping restores that.
+	rn.st.Close()
+	if rmErr := os.RemoveAll(rn.cfg.DataDir); rmErr != nil {
+		log.Fatalf("rolling back failed bootstrap: %v", rmErr)
+	}
+	st, openErr := store.Open(rn.cfg.DataDir, store.Options{CheckpointEvery: rn.cfg.CheckpointEvery, Fsync: true})
+	if openErr != nil {
+		log.Fatalf("reopening store after failed bootstrap: %v", openErr)
+	}
+	rn.st = st
+	rn.cfg.Logf("bootstrap failed (%v), starting from genesis", err)
+	rn.start(false)
+}
+
+// Serve runs the node until Close. The store is closed here, after the
+// event loop has drained: queued commits may still persist blocks while
+// the stop sentinel works its way through the queue, and closing the
+// store from another goroutine would turn a graceful shutdown into a
+// fatal ErrClosed mid-commit.
+func (rn *replicaNode) Serve() error {
+	err := rn.node.Serve()
+	if rn.st != nil {
+		if cerr := rn.st.Close(); cerr != nil {
+			rn.cfg.Logf("closing store: %v", cerr)
+		}
+	}
+	close(rn.served)
+	return err
+}
+
+// Close shuts the node down and waits for Serve to finish flushing and
+// closing the store, so the data directory is quiescent when Close
+// returns (a restart may reopen it immediately).
+func (rn *replicaNode) Close() {
+	rn.node.Close()
+	<-rn.served
+}
+
+// appHandler intercepts client SubmitTx requests and store sync frames,
+// forwarding everything else to the replica.
 type appHandler struct {
-	node    *transport.Node
-	replica *asmr.Replica
-	pool    *mempool.Pool
+	rn *replicaNode
 }
 
 func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
-	if sub, ok := msg.(*transport.SubmitTx); ok {
-		if sub.Tx == nil {
+	switch m := msg.(type) {
+	case *transport.SubmitTx:
+		if m.Tx == nil {
 			return
 		}
-		if h.pool.Add(sub.Tx) {
-			h.replica.Kick()
-			log.Printf("tx %v enqueued (mempool %d)", sub.Tx.ID(), h.pool.Len())
+		if h.rn.pool.Add(m.Tx) {
+			h.rn.replica.Kick()
+			h.rn.cfg.Logf("tx %v enqueued (mempool %d)", m.Tx.ID(), h.rn.pool.Len())
 		}
-		return
+	case *transport.SyncFrame:
+		h.rn.onSyncFrame(from, m)
+	default:
+		h.rn.replica.OnMessage(from, msg)
 	}
-	h.replica.OnMessage(from, msg)
 }
 
-func (h *appHandler) OnTimer(payload any) { h.replica.OnTimer(payload) }
+func (h *appHandler) OnTimer(payload any) {
+	switch payload.(type) {
+	case syncDeadline:
+		if !h.rn.syncOver && !h.rn.started {
+			h.rn.finishSync()
+		}
+	case syncRetry:
+		h.rn.retrySync()
+	default:
+		h.rn.replica.OnTimer(payload)
+	}
+}
 
 // blockFrom assembles the application block of a decision, decoding each
 // proposal payload through the shared batch cache (internal/wire).

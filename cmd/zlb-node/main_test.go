@@ -1,0 +1,328 @@
+package main
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/transport"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+// nodeState reads a replica's chain state on its event loop.
+type nodeState struct {
+	Height  int
+	LastK   uint64
+	Digests map[uint64]types.Digest
+	Faucet  types.Amount
+}
+
+func (rn *replicaNode) state() nodeState {
+	ch := make(chan nodeState, 1)
+	rn.node.Do(func() {
+		ch <- nodeState{
+			Height:  rn.ledger.Height(),
+			LastK:   rn.ledger.LastK(),
+			Digests: rn.ledger.BlockDigests(),
+			Faucet:  rn.ledger.Table().Balance(rn.faucet),
+		}
+	})
+	return <-ch
+}
+
+// freeAddrs reserves n distinct localhost ports and releases them for
+// the nodes to claim.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// testClient chains faucet payments exactly like cmd/zlb-client.
+type testClient struct {
+	t      *testing.T
+	faucet *utxo.Wallet
+	prev   utxo.Input
+	addrs  []string
+}
+
+func newTestClient(t *testing.T, seed int64, addrs []string) *testClient {
+	t.Helper()
+	reg := crypto.NewRegistry(crypto.SchemeEd25519)
+	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := scheme.GenerateKey(crypto.NewDeterministicRand(seed ^ 0xFA0CE7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testClient{
+		t:      t,
+		faucet: utxo.NewWallet(kp, scheme),
+		prev:   utxo.Input{Prev: utxo.Outpoint{TxID: types.Hash([]byte("genesis")), Index: 0}, Value: 1_000_000_000},
+		addrs:  addrs,
+	}
+}
+
+type clientEnvelope struct {
+	From types.ReplicaID
+	Msg  any
+}
+
+// submit pays amount to a throwaway recipient, broadcasting to the given
+// replica subset (indices into addrs). Delivery to EVERY listed replica
+// is retried until it succeeds: when exactly n−t replicas are alive, SBC
+// waits for n−t delivered proposals before voting 0 on absent slots, so
+// every live replica must have work to propose or the instance stalls —
+// real clients likewise broadcast with retries (§4.2).
+func (c *testClient) submit(amount types.Amount, to ...int) {
+	c.t.Helper()
+	tx, err := c.faucet.Pay([]utxo.Input{c.prev},
+		[]utxo.Output{{Account: utxo.Address(types.Hash([]byte("sink"))), Value: amount}})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	changeIdx := uint32(len(tx.Outputs) - 1)
+	c.prev = utxo.Input{
+		Prev:  utxo.Outpoint{TxID: tx.ID(), Index: changeIdx},
+		Value: tx.Outputs[changeIdx].Value,
+	}
+	for _, i := range to {
+		delivered := false
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			conn, err := net.DialTimeout("tcp", c.addrs[i], 2*time.Second)
+			if err == nil {
+				enc := gob.NewEncoder(conn)
+				err = enc.Encode(clientEnvelope{From: 0, Msg: &transport.SubmitTx{Tx: tx}})
+				conn.Close()
+				if err == nil {
+					delivered = true
+					break
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if !delivered {
+			c.t.Fatalf("transaction never reached replica %d", i+1)
+		}
+	}
+}
+
+// waitFor polls until cond returns true or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestNodeKillRestartRecovers is the acceptance integration test: a
+// 4-replica TCP cluster commits payments, replica 4 is killed mid-run,
+// the survivors keep committing, and replica 4 restarted with the same
+// -data-dir recovers its persisted chain and UTXO state from disk, then
+// catches the missed tail up from its peers until its ledger digests
+// match the survivors' bit for bit.
+func TestNodeKillRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP integration test")
+	}
+	const n = 4
+	const seed = int64(7)
+	addrs := freeAddrs(t, n)
+	dataDirs := make([]string, n)
+	for i := range dataDirs {
+		dataDirs[i] = t.TempDir()
+	}
+
+	mkNode := func(i int) *replicaNode {
+		rn, err := newReplicaNode(nodeConfig{
+			Self:            types.ReplicaID(i + 1),
+			N:               n,
+			Listen:          addrs[i],
+			Peers:           addrs,
+			Seed:            seed,
+			DataDir:         dataDirs[i],
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		go rn.Serve()
+		return rn
+	}
+	nodes := make([]*replicaNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = mkNode(i)
+	}
+	defer func() {
+		for _, rn := range nodes {
+			if rn != nil {
+				rn.Close()
+			}
+		}
+	}()
+
+	client := newTestClient(t, seed, addrs)
+	// Commit a few blocks with everyone up.
+	for b := 0; b < 3; b++ {
+		client.submit(types.Amount(1000+b), 0, 1, 2, 3)
+		want := b + 1
+		waitFor(t, 30*time.Second, fmt.Sprintf("block %d on all replicas", want), func() bool {
+			for i := 0; i < n; i++ {
+				if nodes[i].state().Height < want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	killedState := nodes[3].state()
+	if killedState.Height < 3 {
+		t.Fatalf("replica 4 height %d before kill, want ≥ 3", killedState.Height)
+	}
+
+	// Kill replica 4; the remaining 3 (the exact ⌈2n/3⌉ quorum) continue.
+	nodes[3].Close()
+	nodes[3] = nil
+	for b := 3; b < 5; b++ {
+		client.submit(types.Amount(2000+b), 0, 1, 2)
+		want := b + 1
+		waitFor(t, 60*time.Second, fmt.Sprintf("block %d on the survivors", want), func() bool {
+			for i := 0; i < 3; i++ {
+				if nodes[i].state().Height < want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Restart replica 4 from its data directory.
+	nodes[3] = mkNode(3)
+	restored := nodes[3].state()
+	if restored.Height < killedState.Height {
+		t.Fatalf("restart recovered height %d from disk, want ≥ %d", restored.Height, killedState.Height)
+	}
+	for k, d := range killedState.Digests {
+		if restored.Digests[k] != d {
+			t.Fatalf("recovered block %d digest differs from pre-kill state", k)
+		}
+	}
+
+	// It must converge to the survivors' chain (catch-up of the missed
+	// tail), including the recovered UTXO state.
+	waitFor(t, 60*time.Second, "replica 4 catching up to the honest chain", func() bool {
+		ref := nodes[0].state()
+		got := nodes[3].state()
+		if got.LastK < ref.LastK || got.Faucet != ref.Faucet {
+			return false
+		}
+		for k, d := range ref.Digests {
+			if got.Digests[k] != d {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestNodeSyncBootstrap exercises the standby catch-up path: a node with
+// an empty data directory and -sync asks its peers for their checkpoint
+// + log tail, cross-checks the responses, and installs the chain before
+// joining consensus.
+func TestNodeSyncBootstrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP integration test")
+	}
+	const n = 4
+	const seed = int64(11)
+	addrs := freeAddrs(t, n)
+	dataDirs := make([]string, n)
+	for i := range dataDirs {
+		dataDirs[i] = t.TempDir()
+	}
+
+	mkNode := func(i int, sync bool) *replicaNode {
+		rn, err := newReplicaNode(nodeConfig{
+			Self:            types.ReplicaID(i + 1),
+			N:               n,
+			Listen:          addrs[i],
+			Peers:           addrs,
+			Seed:            seed,
+			DataDir:         dataDirs[i],
+			CheckpointEvery: 2,
+			Sync:            sync,
+			SyncTimeout:     10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		go rn.Serve()
+		return rn
+	}
+	nodes := make([]*replicaNode, n)
+	for i := 0; i < 3; i++ {
+		nodes[i] = mkNode(i, false)
+	}
+	defer func() {
+		for _, rn := range nodes {
+			if rn != nil {
+				rn.Close()
+			}
+		}
+	}()
+
+	client := newTestClient(t, seed, addrs)
+	for b := 0; b < 4; b++ {
+		client.submit(types.Amount(500+b), 0, 1, 2)
+		want := b + 1
+		waitFor(t, 60*time.Second, fmt.Sprintf("block %d on the initial trio", want), func() bool {
+			for i := 0; i < 3; i++ {
+				if nodes[i].state().Height < want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Replica 4 joins late with an empty store and -sync: it bootstraps
+	// the chain from its peers' stores.
+	nodes[3] = mkNode(3, true)
+	waitFor(t, 60*time.Second, "standby bootstrapping the chain", func() bool {
+		ref := nodes[0].state()
+		got := nodes[3].state()
+		if got.LastK < ref.LastK || got.Faucet != ref.Faucet {
+			return false
+		}
+		for k, d := range ref.Digests {
+			if got.Digests[k] != d {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -303,6 +303,77 @@ func (r *Replica) Disagreed(k uint64) bool {
 	return ok && st.disagreement
 }
 
+// RestoredBlock seeds a recovering replica with the coordinates of one
+// block recovered from its durable store (internal/store).
+type RestoredBlock struct {
+	K       uint64
+	Attempt uint32
+	Digest  types.Digest
+}
+
+// Restore marks instances decided from durable local state — the
+// consensus-layer half of a crash recovery. It must run before Start.
+// The store does not retain decision bodies (certificates), so restored
+// instances are committed without refiring OnCommit (the application
+// already recovered their content from disk) and cannot serve catch-up
+// to peers; peers that need those blocks fetch them from replicas that
+// decided them live.
+func (r *Replica) Restore(blocks []RestoredBlock) {
+	for _, b := range blocks {
+		if _, dup := r.committed[b.K]; dup {
+			continue
+		}
+		st := &instState{
+			k:          b.K,
+			attempt:    b.Attempt,
+			confirms:   make(map[types.ReplicaID]types.Digest),
+			remoteSeen: make(map[types.Digest]bool),
+			reqSent:    make(map[types.ReplicaID]bool),
+		}
+		st.inst = r.buildSBC(b.K, st)
+		st.decided = true
+		st.digest = b.Digest
+		r.instances[b.K] = st
+		r.committed[b.K] = nil
+		if b.K >= r.nextK {
+			r.nextK = b.K + 1
+		}
+	}
+}
+
+// RequestCatchup asks every committee peer for the decided blocks this
+// replica is missing, starting at its first gap. A crash-restarted
+// replica calls this after Restore: the store recovered the chain up to
+// the crash point, and the certificate-verified CatchupResp path
+// (onCatchupResp) covers everything decided while it was down.
+func (r *Replica) RequestCatchup() {
+	fromK := r.nextK
+	for k := uint64(1); k < r.nextK; k++ {
+		if _, ok := r.committed[k]; !ok {
+			fromK = k
+			break
+		}
+	}
+	req := &CatchupReq{FromK: fromK}
+	for _, m := range r.view.Members() {
+		if m != r.cfg.Self {
+			r.cfg.Env.Send(m, req)
+		}
+	}
+}
+
+// ChainDigests returns the decided digest of every committed instance —
+// the recovered-chain comparison the crash-recovery scenario verifies.
+func (r *Replica) ChainDigests() map[uint64]types.Digest {
+	out := make(map[uint64]types.Digest, len(r.committed))
+	for k := range r.committed {
+		if st, ok := r.instances[k]; ok && st.decided {
+			out[k] = st.digest
+		}
+	}
+	return out
+}
+
 // Start begins the main chain: the replica proposes for instance 1.
 func (r *Replica) Start() {
 	if r.started || !r.member {
@@ -518,7 +589,9 @@ func (r *Replica) onBlockReq(from types.ReplicaID, m *BlockReq) {
 		return
 	}
 	st, ok := r.instances[m.K]
-	if !ok || !st.decided {
+	if !ok || !st.decided || st.decision == nil {
+		// st.decision is nil for instances restored from disk: the store
+		// keeps no certificates, so there is no auditable body to serve.
 		return
 	}
 	r.cfg.Env.Send(from, &BlockResp{K: m.K, Attempt: st.attempt, Decision: st.decision})
@@ -698,6 +771,9 @@ func (r *Replica) buildJoinNotice() *JoinNotice {
 	blocks := make([]BlockRecord, 0, len(ks))
 	for _, k := range ks {
 		st := r.instances[k]
+		if st.decision == nil {
+			continue // restored from disk: no certificates to ship
+		}
 		blocks = append(blocks, BlockRecord{K: k, Attempt: st.attempt, Decision: st.decision})
 	}
 	pending := make(map[uint64]uint32)
@@ -794,6 +870,9 @@ func (r *Replica) onCatchupReq(from types.ReplicaID, m *CatchupReq) {
 	blocks := make([]BlockRecord, 0, len(ks))
 	for _, k := range ks {
 		st := r.instances[k]
+		if st.decision == nil {
+			continue // restored from disk: no certificates to ship
+		}
 		blocks = append(blocks, BlockRecord{K: k, Attempt: st.attempt, Decision: st.decision})
 	}
 	r.cfg.Env.Send(from, &CatchupResp{Blocks: blocks})

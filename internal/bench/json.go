@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JSONReport is the machine-readable envelope zlb-bench emits per
+// experiment (BENCH_<experiment>.json): the perf trajectory across PRs
+// is tracked by diffing these files instead of prose-only EXPERIMENTS.md
+// tables.
+type JSONReport struct {
+	// Experiment names the run (fig3, table1, scenarios, ...).
+	Experiment string `json:"experiment"`
+	// Seed / Full echo the zlb-bench invocation, so a report is
+	// reproducible from its own metadata.
+	Seed int64 `json:"seed"`
+	Full bool  `json:"full"`
+	// Data is the experiment's point slice (Fig3Point, Fig4Point,
+	// scenario.Result, ...), marshaled with its exported fields.
+	Data any `json:"data"`
+}
+
+// WriteJSON writes one experiment's report to <dir>/BENCH_<name>.json,
+// creating dir if needed.
+func WriteJSON(dir, name string, seed int64, full bool, data any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	report := JSONReport{Experiment: name, Seed: seed, Full: full, Data: data}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshaling %s: %w", name, err)
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}

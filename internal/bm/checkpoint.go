@@ -1,0 +1,123 @@
+// Ledger checkpoints: export the complete blockchain-manager state as a
+// wire.CheckpointState snapshot and rebuild a ledger from one. The
+// durable store (internal/store) cuts a checkpoint every few blocks and
+// prunes the block bodies below it; recovery and standby catch-up both
+// start from the latest snapshot and replay only the log tail.
+
+package bm
+
+import (
+	"sort"
+
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+	"github.com/zeroloss/zlb/internal/wire"
+)
+
+// CheckpointState snapshots the full ledger state: UTXO table, deposit
+// pool, punished accounts, committed transaction IDs, deposit-funded
+// inputs, merged-block digests and the chain's block digests. Block
+// bodies are deliberately not included — after a restore, BlockAt
+// returns digest-only tombstones for pruned indices, which is all fork
+// detection (Conflicts) and determinism checks (BlockDigests) need.
+func (l *Ledger) CheckpointState() *wire.CheckpointState {
+	cp := &wire.CheckpointState{
+		Deposit:          l.deposit,
+		MergedTxs:        uint64(l.MergedTxs),
+		DepositFundedTxs: uint64(l.DepositFundedTxs),
+		Refunds:          uint64(l.Refunds),
+	}
+	// The block list keeps append order and includes merged siblings at
+	// an already-occupied index: replaying it into storeBlock rebuilds
+	// both the blocks slice (Height) and the first-wins byIndex map.
+	for _, b := range l.blocks {
+		cp.Blocks = append(cp.Blocks, wire.BlockDigest{K: b.K, Digest: b.Digest})
+		if b.K > cp.LastK {
+			cp.LastK = b.K
+		}
+	}
+	cp.Merged = sortedDigests(l.merged)
+	for _, e := range l.table.Entries() {
+		cp.UTXOs = append(cp.UTXOs, wire.UTXOEntry{Op: e.Op, Out: e.Out})
+	}
+	cp.TxIDs = sortedDigests(l.txs)
+	addrs := make([]utxo.Address, 0, len(l.punished))
+	for a := range l.punished {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return types.Digest(addrs[i]).Less(types.Digest(addrs[j]))
+	})
+	cp.Punished = addrs
+	ops := make([]utxo.Outpoint, 0, len(l.inputsDeposit))
+	for op := range l.inputsDeposit {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].TxID != ops[j].TxID {
+			return ops[i].TxID.Less(ops[j].TxID)
+		}
+		return ops[i].Index < ops[j].Index
+	})
+	for _, op := range ops {
+		cp.DepositInputs = append(cp.DepositInputs, wire.DepositInput{Op: op, Value: l.inputsDeposit[op].Value})
+	}
+	return cp
+}
+
+// RestoreLedger rebuilds a ledger from a checkpoint snapshot. Pruned
+// blocks come back as digest-only tombstones: Conflicts and BlockDigests
+// behave exactly as before the restart, while the transaction bodies
+// live only in the committed-ID set and the UTXO table.
+func RestoreLedger(scheme crypto.Scheme, cp *wire.CheckpointState) *Ledger {
+	l := NewLedger(scheme)
+	l.deposit = cp.Deposit
+	l.MergedTxs = int(cp.MergedTxs)
+	l.DepositFundedTxs = int(cp.DepositFundedTxs)
+	l.Refunds = int(cp.Refunds)
+	for _, b := range cp.Blocks {
+		tomb := &Block{K: b.K, Digest: b.Digest}
+		l.blocks = append(l.blocks, tomb)
+		if _, ok := l.byIndex[b.K]; !ok {
+			l.byIndex[b.K] = tomb
+		}
+	}
+	for _, d := range cp.Merged {
+		l.merged[d] = true
+	}
+	for _, e := range cp.UTXOs {
+		l.table.Credit(e.Op, e.Out)
+	}
+	for _, id := range cp.TxIDs {
+		l.txs[id] = true
+	}
+	for _, a := range cp.Punished {
+		l.punished[a] = true
+	}
+	for _, in := range cp.DepositInputs {
+		l.inputsDeposit[in.Op] = utxo.Input{Prev: in.Op, Value: in.Value}
+	}
+	return l
+}
+
+// LastK returns the highest stored chain index (0 for an empty chain).
+func (l *Ledger) LastK() uint64 {
+	var last uint64
+	for k := range l.byIndex {
+		if k > last {
+			last = k
+		}
+	}
+	return last
+}
+
+// sortedDigests flattens a digest set deterministically.
+func sortedDigests(set map[types.Digest]bool) []types.Digest {
+	out := make([]types.Digest, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

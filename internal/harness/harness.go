@@ -8,15 +8,18 @@ package harness
 import (
 	"encoding/binary"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/adversary"
 	"github.com/zeroloss/zlb/internal/asmr"
+	"github.com/zeroloss/zlb/internal/bm"
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/store"
 	"github.com/zeroloss/zlb/internal/types"
 )
 
@@ -64,6 +67,12 @@ type Options struct {
 	WaitForWork bool
 	// CoordTimeout overrides the binary consensus coordinator timeout.
 	CoordTimeout func(types.Round) time.Duration
+	// DataDir, when set, gives every replica a durable block store
+	// (internal/store) at <DataDir>/r<id>: commits and merges write
+	// through as digest-only records, and RestartFromDisk can
+	// crash-restart a replica from its persisted chain. Empty keeps the
+	// cluster fully in-memory.
+	DataDir string
 }
 
 // Commit records one replica's commit of one instance.
@@ -97,6 +106,12 @@ type Cluster struct {
 	// JoinVerified records when an included pool node finished verifying
 	// its catch-up (for the Fig. 5 catch-up series).
 	JoinVerified map[types.ReplicaID]time.Duration
+	// Stores holds each replica's durable block store when Options.DataDir
+	// is set (nil entries otherwise).
+	Stores map[types.ReplicaID]*store.Store
+	// storeErr records the first persistence failure; Run-level callers
+	// surface it through StoreErr.
+	storeErr error
 	// TxCommitted accumulates claimed transactions committed (first honest
 	// replica's view).
 	TxCommitted int
@@ -174,6 +189,7 @@ func New(opts Options) (*Cluster, error) {
 		Finals:        make(map[types.ReplicaID]map[uint64]time.Duration),
 		ChangeResults: make(map[types.ReplicaID][]*membership.Result),
 		JoinVerified:  make(map[types.ReplicaID]time.Duration),
+		Stores:        make(map[types.ReplicaID]*store.Store),
 		slotOutcomes:  make(map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome),
 	}
 	c.Net = simnet.New(simnet.Config{Latency: model, Cost: opts.Cost, Seed: opts.Seed})
@@ -185,6 +201,13 @@ func New(opts Options) (*Cluster, error) {
 		c.Signers[id] = signer
 		c.Commits[id] = make(map[uint64]*Commit)
 		c.Finals[id] = make(map[uint64]time.Duration)
+		if opts.DataDir != "" {
+			st, err := store.Open(c.storeDir(id), store.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %w", err)
+			}
+			c.Stores[id] = st
+		}
 		c.Net.AddNode(id, func(env simnet.Env) simnet.Handler {
 			return c.buildReplica(id, signer, env)
 		})
@@ -223,6 +246,21 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 		},
 		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
 			c.Commits[id][k] = &Commit{K: k, Attempt: attempt, Decision: d, At: env.Now()}
+			if st := c.Stores[id]; st != nil {
+				// Digest-only persistence: the synthetic workload has no
+				// transaction bodies, and the chain digest is what the
+				// crash-recovery scenario verifies.
+				if err := st.AppendBlock(&bm.Block{K: k, Digest: d.Digest()}, attempt); err != nil && c.storeErr == nil {
+					c.storeErr = err
+				}
+			}
+		},
+		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
+			if st := c.Stores[id]; st != nil {
+				if err := st.AppendMerge(&bm.Block{K: k, Digest: remote.Digest()}, uint32(0)); err != nil && c.storeErr == nil {
+					c.storeErr = err
+				}
+			}
 		},
 		OnSlotDecide: func(k uint64, _ uint32, slot types.ReplicaID, value bool, digest types.Digest) {
 			byK, ok := c.slotOutcomes[id]
@@ -276,6 +314,91 @@ func (c *Cluster) Start() {
 	for _, id := range c.Members {
 		c.Replicas[id].Start()
 	}
+}
+
+// storeDir is the per-replica data directory under Options.DataDir.
+func (c *Cluster) storeDir(id types.ReplicaID) string {
+	return filepath.Join(c.Opts.DataDir, fmt.Sprintf("r%d", id))
+}
+
+// StoreErr returns the first persistence failure, if any.
+func (c *Cluster) StoreErr() error { return c.storeErr }
+
+// CloseStores flushes and closes every replica store.
+func (c *Cluster) CloseStores() error {
+	var first error
+	for _, id := range c.Net.NodeIDs() {
+		if st := c.Stores[id]; st != nil {
+			if err := st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// CrashToDisk crashes a replica: it drops off the network and its store
+// is closed, exactly the state a killed process leaves behind. Pair with
+// RestartFromDisk.
+func (c *Cluster) CrashToDisk(id types.ReplicaID) error {
+	c.Net.SetUp(id, false)
+	st := c.Stores[id]
+	if st == nil {
+		return fmt.Errorf("harness: replica %v has no store (set Options.DataDir)", id)
+	}
+	return st.Close()
+}
+
+// RestartFromDisk restarts a crashed replica as a fresh process: the old
+// in-memory protocol state is discarded (simnet.ReplaceHandler), the
+// persisted chain is recovered from its data directory, and the new
+// incarnation rejoins the network, resumes at its next instance, and
+// requests certificate-verified catch-up for everything decided while it
+// was down.
+func (c *Cluster) RestartFromDisk(id types.ReplicaID) error {
+	if c.Stores[id] == nil {
+		return fmt.Errorf("harness: replica %v has no store (set Options.DataDir)", id)
+	}
+	st, err := store.Open(c.storeDir(id), store.Options{})
+	if err != nil {
+		return fmt.Errorf("harness: reopening store of %v: %w", id, err)
+	}
+	c.Stores[id] = st
+	signer := c.Signers[id]
+	c.Net.ReplaceHandler(id, func(env simnet.Env) simnet.Handler {
+		return c.buildReplica(id, signer, env)
+	})
+	r := c.Replicas[id] // buildReplica re-registered the fresh replica
+	restored := make([]asmr.RestoredBlock, 0)
+	for _, rec := range st.BlockRecords() {
+		restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})
+	}
+	r.Restore(restored)
+	c.Net.SetUp(id, true)
+	r.Start()
+	r.RequestCatchup()
+	return nil
+}
+
+// ChainAgreement compares a replica's decided chain digests to the first
+// honest replica's: have is how many of the honest chain's instances the
+// replica decided with the identical digest, want is the honest chain
+// length, and match reports full agreement. The crash-recovery scenario
+// pins this for the restarted replica.
+func (c *Cluster) ChainAgreement(id types.ReplicaID) (match bool, have, want int) {
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		return false, 0, 0
+	}
+	ref := c.Replicas[honest[0]].ChainDigests()
+	got := c.Replicas[id].ChainDigests()
+	for k, d := range ref {
+		if got[k] == d {
+			have++
+		}
+	}
+	want = len(ref)
+	return have == want, have, want
 }
 
 // Run processes events until the virtual deadline.

@@ -57,6 +57,12 @@ var builders = []Builder{
 			"rounds stretch but consensus proceeds without it",
 		Build: buildSlowProposer,
 	},
+	{
+		Name: "crash-recover-catchup",
+		Description: "a replica is killed mid-load, restarts from its durable " +
+			"store and catches up to the honest chain digest",
+		Build: buildCrashRecoverCatchup,
+	},
 }
 
 // Names lists the registered campaigns in registration order.
@@ -212,9 +218,11 @@ func honestHalves(n, deceitful int) [][]types.ReplicaID {
 
 // buildChurnUnderLoad sleeps two successive waves of benign replicas
 // under continuous load. A replica that slept through an instance stays
-// behind after waking (catch-up is only wired for joiners), so the waves
-// are sized to keep sleepers-plus-laggards within the quorum margin
-// n − ⌈2n/3⌉ and commits continue throughout.
+// behind after waking (a plain sleeper never requests catch-up — that
+// is wired for pool joiners and disk-recovered replicas, see
+// crash-recover-catchup), so the waves are sized to keep
+// sleepers-plus-laggards within the quorum margin n − ⌈2n/3⌉ and
+// commits continue throughout.
 func buildChurnUnderLoad(n int, seed int64) Scenario {
 	opts := baseOpts(n, seed)
 	opts.MaxInstances = 24
@@ -269,6 +277,33 @@ func buildPartitionThenHeal(n int, seed int64) Scenario {
 			{Name: "partitioned", Duration: 12 * time.Second, Faults: []Fault{split}},
 			{Name: "healed", Duration: 12 * time.Second},
 		},
+	}
+}
+
+// buildCrashRecoverCatchup kills the highest-ID replica mid-load —
+// process down, in-memory consensus state gone — and restarts it from
+// its durable block store (internal/store) one phase later: the
+// recovered incarnation restores its persisted chain, rejoins, and pulls
+// the instances it missed through certificate-verified catch-up. The
+// golden pins that it ends in full digest agreement with the honest
+// chain and that the recovery produces zero disagreements.
+func buildCrashRecoverCatchup(n int, seed int64) Scenario {
+	opts := baseOpts(n, seed)
+	opts.MaxInstances = 24
+	opts.CoordTimeout = steadyRounds
+	opts.PoolSize = 1
+	victim := types.ReplicaID(n)
+	return Scenario{
+		Name:         "crash-recover-catchup",
+		Opts:         opts,
+		NeedsDataDir: true,
+		VerifyChains: []types.ReplicaID{victim},
+		Phases: []Phase{
+			{Name: "warmup", Duration: 6 * time.Second},
+			{Name: "crashed", Duration: 10 * time.Second, Faults: []Fault{&CrashRestart{IDs: []types.ReplicaID{victim}}}},
+			{Name: "catchup", Duration: 10 * time.Second},
+		},
+		Drain: 2 * time.Minute,
 	}
 }
 

@@ -24,6 +24,7 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -65,6 +66,14 @@ type Scenario struct {
 	// the event queue until quiet (bounded by Drain extra virtual time),
 	// so in-flight recoveries can complete.
 	Drain time.Duration
+	// NeedsDataDir gives every replica a durable block store: Run
+	// provisions a temporary data directory (removed afterwards) when
+	// Opts.DataDir is empty. Campaigns using CrashRestart require it.
+	NeedsDataDir bool
+	// VerifyChains lists replicas whose final decided chain is compared
+	// digest-for-digest against the first honest replica's; the outcome
+	// lands in Result.Recovered (and the campaign's golden).
+	VerifyChains []types.ReplicaID
 }
 
 // Runtime is the live fault stack of a running scenario. Faults register
@@ -76,6 +85,16 @@ type Runtime struct {
 	nextID int
 	drops  []stackedRule[func(from, to types.ReplicaID, msg simnet.Message) bool]
 	delays []stackedRule[func(from, to types.ReplicaID, msg simnet.Message) time.Duration]
+	// err records the first fault-application failure (e.g. a restart
+	// whose store cannot be reopened); Run surfaces it.
+	err error
+}
+
+// fail records a fault failure; the first one wins.
+func (rt *Runtime) fail(err error) {
+	if err != nil && rt.err == nil {
+		rt.err = err
+	}
 }
 
 type stackedRule[T any] struct {
@@ -198,6 +217,35 @@ func (f *Sleep) Revert(rt *Runtime) {
 	}
 }
 
+// CrashRestart kills replicas at phase start — process down, in-memory
+// consensus state lost, store closed like a dead process's descriptors —
+// and restarts them from their on-disk stores at phase end. The
+// restarted incarnation recovers its persisted chain, rejoins, and
+// requests certificate-verified catch-up for everything it missed. The
+// enclosing scenario must set NeedsDataDir.
+type CrashRestart struct {
+	IDs []types.ReplicaID
+}
+
+// MetricExclusions implements MetricExcluder: a crash-restarted replica
+// lags the honest readings while down, like the paper's benign replicas.
+func (f *CrashRestart) MetricExclusions() []types.ReplicaID { return f.IDs }
+
+// Apply implements Fault.
+func (f *CrashRestart) Apply(rt *Runtime) {
+	rt.Cluster.ExcludeFromMetrics(f.IDs...)
+	for _, id := range f.IDs {
+		rt.fail(rt.Cluster.CrashToDisk(id))
+	}
+}
+
+// Revert implements Fault: the phase boundary is the restart.
+func (f *CrashRestart) Revert(rt *Runtime) {
+	for _, id := range f.IDs {
+		rt.fail(rt.Cluster.RestartFromDisk(id))
+	}
+}
+
 // Partition splits the listed nodes into groups. With Extra zero,
 // cross-group messages are dropped (full loss); with Extra positive they
 // are delayed by Extra (a stalled but lossless partition, which heals
@@ -313,6 +361,16 @@ type PhaseResult struct {
 	Dropped   int
 }
 
+// RecoveryStatus is the final chain comparison for one replica listed in
+// Scenario.VerifyChains: whether its decided digests match the first
+// honest replica's, instance for instance.
+type RecoveryStatus struct {
+	ID    types.ReplicaID
+	Match bool
+	// Have / Want count matching instances vs the honest chain length.
+	Have, Want int
+}
+
 // Result is a completed campaign.
 type Result struct {
 	Scenario    string
@@ -327,14 +385,26 @@ type Result struct {
 	Committed     int
 	Disagreements int
 	Culprits      int
+	// Recovered holds the end-of-run chain comparison for every replica
+	// in Scenario.VerifyChains (crash-recovery campaigns).
+	Recovered []RecoveryStatus
 }
 
 // Run executes the scenario and returns its per-phase metrics.
 func Run(s Scenario) (*Result, error) {
+	if s.NeedsDataDir && s.Opts.DataDir == "" {
+		dir, err := os.MkdirTemp("", "zlb-scenario-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		defer os.RemoveAll(dir)
+		s.Opts.DataDir = dir
+	}
 	c, err := harness.New(s.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	defer c.CloseStores()
 	rt := NewRuntime(c)
 	// Exclude every replica any phase will crash or sleep before the
 	// first snapshot: the honest metric set stays constant for the whole
@@ -371,10 +441,20 @@ func Run(s Scenario) (*Result, error) {
 		res.Phases = append(res.Phases, diffPhase("drain", prev, snap))
 		prev = snap
 	}
+	if rt.err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, rt.err)
+	}
+	if err := c.StoreErr(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
 	res.Converged = c.ConvergedAgreement()
 	res.Committed = prev.Committed
 	res.Disagreements = prev.Disagreements
 	res.Culprits = prev.Culprits
+	for _, id := range s.VerifyChains {
+		match, have, want := c.ChainAgreement(id)
+		res.Recovered = append(res.Recovered, RecoveryStatus{ID: id, Match: match, Have: have, Want: want})
+	}
 	return res, nil
 }
 
@@ -422,6 +502,10 @@ func (r *Result) Format() string {
 			p.Name, p.Start.Seconds(), p.End.Seconds(), p.Committed, p.TxPerSec,
 			p.Disagreements, p.Culprits,
 			formatEvent(p.DetectSec), formatEvent(p.ExcludeSec), formatEvent(p.IncludeSec))
+	}
+	for _, rec := range r.Recovered {
+		fmt.Fprintf(&b, "recovered %v: chain %d/%d instances, digests match=%v\n",
+			rec.ID, rec.Have, rec.Want, rec.Match)
 	}
 	return b.String()
 }

@@ -136,7 +136,11 @@ type event struct {
 	from    types.ReplicaID
 	msg     Message
 	timerID TimerID
-	payload any
+	// timerEpoch is the node incarnation that armed the timer; a timer
+	// armed before a ReplaceHandler restart is dropped on delivery (its
+	// payload belongs to a dead state machine).
+	timerEpoch uint32
+	payload    any
 }
 
 // eventQueue is a value-based 4-ary min-heap ordered by (at, seq). Events
@@ -220,6 +224,9 @@ type nodeState struct {
 	rng       *rand.Rand
 	net       *Network
 	cancelled map[TimerID]struct{}
+	// epoch counts ReplaceHandler restarts; timers carry the epoch they
+	// were armed in and stale ones are dropped.
+	epoch uint32
 }
 
 // Network is the simulator. Not safe for concurrent use; the entire
@@ -308,6 +315,23 @@ func (n *Network) SetUp(id types.ReplicaID, up bool) {
 	}
 }
 
+// ReplaceHandler restarts a node as a fresh process: the old handler
+// (and all its in-memory protocol state) is discarded, a new one is
+// built against the same Env, and every timer armed by the previous
+// incarnation is dropped — its payload points into dead state machines.
+// In-flight messages still deliver, exactly like packets already in the
+// network surviving a peer's reboot. The node's up/down state is
+// untouched; callers crash-recovering a replica pair this with SetUp.
+func (n *Network) ReplaceHandler(id types.ReplicaID, build func(Env) Handler) {
+	st := n.node(id)
+	if st == nil {
+		panic(fmt.Sprintf("simnet: ReplaceHandler on unknown node %v", id))
+	}
+	st.epoch++
+	st.cancelled = make(map[TimerID]struct{})
+	st.handler = build(st)
+}
+
 // Now returns the global virtual clock (time of the last processed event).
 func (n *Network) Now() time.Duration { return n.clock }
 
@@ -387,12 +411,13 @@ func (s *nodeState) SetTimer(d time.Duration, payload any) TimerID {
 	id := n.nextTimer
 	n.seq++
 	n.pq.push(event{
-		at:      s.now + d,
-		seq:     n.seq,
-		kind:    evTimer,
-		to:      s.id,
-		timerID: id,
-		payload: payload,
+		at:         s.now + d,
+		seq:        n.seq,
+		kind:       evTimer,
+		to:         s.id,
+		timerID:    id,
+		timerEpoch: s.epoch,
+		payload:    payload,
 	})
 	return id
 }
@@ -420,6 +445,9 @@ func (n *Network) Step() bool {
 			continue
 		}
 		if ev.kind == evTimer {
+			if ev.timerEpoch != st.epoch {
+				continue // armed by a previous incarnation of the node
+			}
 			if _, cancelled := st.cancelled[ev.timerID]; cancelled {
 				delete(st.cancelled, ev.timerID)
 				continue

@@ -240,3 +240,37 @@ func TestRunStopsAtDeadline(t *testing.T) {
 		t.Fatal("message lost after deadline resume")
 	}
 }
+
+// TestReplaceHandlerRestartsNode pins restart semantics: the fresh
+// handler receives new traffic, timers armed by the old incarnation are
+// dropped, and timers armed by the new incarnation fire.
+func TestReplaceHandlerRestartsNode(t *testing.T) {
+	net, recs := build(Config{Latency: latency.Fixed(10 * time.Millisecond), Seed: 1}, 2)
+	// Old incarnation arms a timer far in the future.
+	net.Inject(2, 1, "kick", 0)
+	recs[0].onMsg = func(types.ReplicaID, Message) {
+		recs[0].env.SetTimer(500*time.Millisecond, "stale")
+	}
+	net.Run(50 * time.Millisecond)
+
+	var restarted *recorder
+	net.ReplaceHandler(1, func(env Env) Handler {
+		restarted = &recorder{env: env}
+		return restarted
+	})
+	// A message sent after the restart reaches the new handler; the stale
+	// timer never fires on it.
+	net.Inject(2, 1, "fresh", 0)
+	restarted.onMsg = func(types.ReplicaID, Message) {
+		restarted.env.SetTimer(20*time.Millisecond, "alive")
+	}
+	net.RunUntilQuiet(time.Minute)
+	want := []string{"fresh", "timer:alive"}
+	if len(restarted.events) != 2 || restarted.events[0] != want[0] || restarted.events[1] != want[1] {
+		t.Fatalf("restarted node events = %v, want %v", restarted.events, want)
+	}
+	// The old recorder saw only its own pre-restart traffic.
+	if len(recs[0].events) != 1 || recs[0].events[0] != "kick" {
+		t.Fatalf("old incarnation events = %v", recs[0].events)
+	}
+}

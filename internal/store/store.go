@@ -1,0 +1,647 @@
+// Package store is ZLB's durable block store: an append-only, segmented
+// block log with CRC-framed records (internal/wire), periodic UTXO
+// checkpoints, and supersede records so the fork merge of the Blockchain
+// Manager — which rewrites blocks at an existing index — replays cleanly
+// instead of conflicting with the block it replaced.
+//
+// Layout of a replica's data directory:
+//
+//	<dir>/log/wal-00000001.seg   record frames, rolled at SegmentBytes
+//	<dir>/log/wal-00000002.seg   ...
+//	<dir>/checkpoint.ckpt        latest wire.EncodeCheckpoint snapshot
+//
+// Records are framed by wire.AppendRecord (length | crc32 | kind |
+// payload). On Open the segments are replayed in order; a torn frame at
+// the tail of the LAST segment is a crash artifact and is truncated
+// away, while corruption anywhere else fails the open — silent data loss
+// in the middle of the chain must never be repaired automatically.
+//
+// A checkpoint snapshots the entire ledger state at a height
+// (wire.CheckpointState). Cutting one prunes every segment that only
+// holds records at or below the checkpoint height, so the log tail stays
+// short no matter how long the chain gets — exactly what lets a standby
+// replica catch up from "checkpoint + tail" instead of replaying from
+// genesis (catchup.go).
+//
+// The store is safe for concurrent use. Appends go through a buffered
+// writer; Flush (or Close) pushes them to the OS, and Options.Fsync
+// additionally fsyncs on every checkpoint cut.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/zeroloss/zlb/internal/bm"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/wire"
+)
+
+// Options tunes a store.
+type Options struct {
+	// SegmentBytes rolls the active segment once it exceeds this size
+	// (default 1 MiB).
+	SegmentBytes int
+	// CheckpointEvery cuts a checkpoint automatically every N appended
+	// blocks (0 = only explicit WriteCheckpoint calls).
+	CheckpointEvery uint64
+	// Fsync forces an fsync after every checkpoint cut and on Close.
+	// Appends are still buffered; a crash can lose the unflushed tail,
+	// which recovery handles as a torn tail.
+	Fsync bool
+}
+
+// Errors returned by the store.
+var (
+	// ErrCorrupt marks unrecoverable log damage: a bad frame that is not
+	// at the tail of the last segment.
+	ErrCorrupt = errors.New("store: corrupt block log")
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Record is one replayed entry of the block log.
+type Record struct {
+	// Supersede marks a merged block: replay applies it through
+	// bm.MergeBlock so it replaces the block at its index.
+	Supersede bool
+	Block     *wire.BlockRecord
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	seq  uint64
+	path string
+	// firstK/lastK bound the chain indices recorded in the segment
+	// (checkpoint pruning drops segments entirely below a checkpoint).
+	firstK, lastK uint64
+	records       int
+}
+
+// Store is a durable block store rooted at one replica's data directory.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segments []*segment
+	active   *os.File
+	buffered []byte // appended frames not yet written to the active file
+
+	// In-memory replica of the log tail (records after the latest
+	// checkpoint) — the catch-up server serves from here without disk
+	// reads, and recovery replays it onto the checkpoint.
+	checkpoint *wire.CheckpointState
+	tail       []Record
+
+	lastK      uint64
+	haveBlocks bool
+	sinceCkpt  uint64
+	closed     bool
+	// byIndex tracks the digest first stored for every index, so appends
+	// are idempotent across a crash-restart overlap.
+	byIndex map[uint64]types.Digest
+}
+
+// Open opens (creating if necessary) the store at dir and recovers its
+// state: latest checkpoint plus the replayed log tail.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 1 << 20
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "log"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, byIndex: make(map[uint64]types.Digest)}
+	if err := s.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if err := s.loadSegments(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) checkpointPath() string { return filepath.Join(s.dir, "checkpoint.ckpt") }
+
+// loadCheckpoint reads the checkpoint file if present. A checkpoint that
+// fails to decode is ignored (treated as absent): it was torn mid-write,
+// and the log still holds every record since the previous prune... which
+// is exactly why pruning happens only after the new checkpoint is
+// durably in place (WriteCheckpoint writes to a temp file and renames).
+func (s *Store) loadCheckpoint() error {
+	raw, err := os.ReadFile(s.checkpointPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	cp, err := wire.DecodeCheckpoint(raw)
+	if err != nil {
+		return nil
+	}
+	s.checkpoint = cp
+	s.lastK = cp.LastK
+	s.haveBlocks = len(cp.Blocks) > 0
+	for _, b := range cp.Blocks {
+		if _, ok := s.byIndex[b.K]; !ok {
+			s.byIndex[b.K] = b.Digest
+		}
+	}
+	return nil
+}
+
+// loadSegments scans the log directory, replays every record and
+// truncates a torn tail off the last segment.
+func (s *Store) loadSegments() error {
+	logDir := filepath.Join(s.dir, "log")
+	entries, err := os.ReadDir(logDir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &seq); n != 1 || err != nil {
+			continue
+		}
+		s.segments = append(s.segments, &segment{seq: seq, path: filepath.Join(logDir, e.Name())})
+	}
+	sort.Slice(s.segments, func(i, j int) bool { return s.segments[i].seq < s.segments[j].seq })
+
+	for i, seg := range s.segments {
+		raw, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		last := i == len(s.segments)-1
+		good, err := s.replaySegment(seg, raw, last)
+		if err != nil {
+			return err
+		}
+		if good < len(raw) {
+			// Torn tail (crash mid-append): truncate to the last good frame.
+			if err := os.Truncate(seg.path, int64(good)); err != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", err)
+			}
+		}
+	}
+	// Records folded into the loaded checkpoint are dropped from the
+	// replay tail here, against the checkpoint itself — not against the
+	// log's cut marker, whose durability is not ordered with the
+	// checkpoint file's. Replaying a folded record would be idempotent
+	// anyway (bm dedups by digest and merged-set), but the tail also
+	// feeds the catch-up server and must stay "records after the cut".
+	if s.checkpoint != nil {
+		s.tail = tailAfterCheckpoint(s.tail, s.checkpoint.LastK)
+	}
+	if len(s.segments) == 0 {
+		if err := s.rollSegmentLocked(); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Re-open the last segment for appending.
+	seg := s.segments[len(s.segments)-1]
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	return nil
+}
+
+// replaySegment applies a segment's frames to the in-memory state. It
+// returns the byte offset of the end of the last good frame. Only true
+// crash artifacts in the last segment are tolerated (and truncated by
+// the caller): a frame cut short by EOF, or a CRC-bad frame whose
+// remaining bytes are all zero (a tail of unwritten pages). A CRC-valid
+// frame with an undecodable payload, or a CRC mismatch with real data
+// after it, is corruption wherever it sits — truncating there would
+// silently delete good records, so the open fails instead.
+func (s *Store) replaySegment(seg *segment, raw []byte, lastSegment bool) (int, error) {
+	rest := raw
+	good := 0
+	for len(rest) > 0 {
+		kind, payload, next, err := DecodeFrame(rest)
+		if err != nil {
+			if lastSegment && errors.Is(err, wire.ErrRecordTruncated) {
+				return good, nil // frame ran past EOF: torn write
+			}
+			if lastSegment && allZero(rest) {
+				return good, nil // zero-page tail: torn write
+			}
+			return good, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, good, err)
+		}
+		if err := s.applyRecord(seg, kind, payload); err != nil {
+			return good, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, good, err)
+		}
+		good += len(rest) - len(next)
+		rest = next
+	}
+	return good, nil
+}
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeFrame reads one record frame (re-exported for the catch-up
+// client, which re-verifies the CRCs of a streamed log tail).
+func DecodeFrame(buf []byte) (wire.RecordKind, []byte, []byte, error) {
+	return wire.DecodeRecord(buf)
+}
+
+// applyRecord folds one decoded record into the in-memory state.
+func (s *Store) applyRecord(seg *segment, kind wire.RecordKind, payload []byte) error {
+	switch kind {
+	case wire.RecordBlock, wire.RecordSupersede:
+		rec, err := wire.DecodeBlockRecord(payload)
+		if err != nil {
+			return err
+		}
+		s.noteBlock(seg, rec)
+		s.tail = append(s.tail, Record{Supersede: kind == wire.RecordSupersede, Block: rec})
+	case wire.RecordCheckpoint:
+		// Cut marker: the payload is the cut height (big-endian LastK),
+		// recording where in the log a checkpoint was taken. It is
+		// forensic only — recovery filters the tail against the loaded
+		// checkpoint itself (loadSegments), never against the marker,
+		// because the marker's durability is not ordered with the
+		// checkpoint file's.
+		if len(payload) != 8 {
+			return fmt.Errorf("checkpoint marker with %d-byte payload", len(payload))
+		}
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	return nil
+}
+
+func (s *Store) noteBlock(seg *segment, rec *wire.BlockRecord) {
+	if seg != nil {
+		if seg.records == 0 || rec.K < seg.firstK {
+			seg.firstK = rec.K
+		}
+		if rec.K > seg.lastK {
+			seg.lastK = rec.K
+		}
+		seg.records++
+	}
+	if rec.K > s.lastK || !s.haveBlocks {
+		s.lastK = rec.K
+	}
+	s.haveBlocks = true
+	if _, ok := s.byIndex[rec.K]; !ok {
+		s.byIndex[rec.K] = rec.Digest
+	}
+}
+
+// LastK returns the highest chain index the store holds (and whether it
+// holds any block at all).
+func (s *Store) LastK() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastK, s.haveBlocks
+}
+
+// Tail returns the replayed records after the latest checkpoint, in log
+// order. The slice is a copy; the records are shared.
+func (s *Store) Tail() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.tail))
+	copy(out, s.tail)
+	return out
+}
+
+// Checkpoint returns the latest checkpoint snapshot, or nil.
+func (s *Store) Checkpoint() *wire.CheckpointState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoint
+}
+
+// AppendBlock persists a committed block. Appends are idempotent: a
+// block whose index already holds the same digest is skipped, which
+// makes the restart overlap (re-committing the last recovered instance
+// after a catch-up) harmless.
+func (s *Store) AppendBlock(b *bm.Block, attempt uint32) error {
+	return s.append(b, attempt, false)
+}
+
+// AppendMerge persists a merged (superseding) block: on replay it is
+// routed through bm.MergeBlock, replacing its predecessor at the index
+// instead of conflicting with it.
+func (s *Store) AppendMerge(b *bm.Block, attempt uint32) error {
+	return s.append(b, attempt, true)
+}
+
+func (s *Store) append(b *bm.Block, attempt uint32, supersede bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if prev, ok := s.byIndex[b.K]; ok && prev == b.Digest && !supersede {
+		return nil
+	}
+	rec := &wire.BlockRecord{K: b.K, Attempt: attempt, Digest: b.Digest, Txs: b.Txs}
+	payload, err := wire.EncodeBlockRecord(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	kind := wire.RecordBlock
+	if supersede {
+		kind = wire.RecordSupersede
+	}
+	s.buffered = wire.AppendRecord(s.buffered, kind, payload)
+	seg := s.segments[len(s.segments)-1]
+	s.noteBlock(seg, rec)
+	s.tail = append(s.tail, Record{Supersede: supersede, Block: rec})
+	if err := s.maybeFlushLocked(); err != nil {
+		return err
+	}
+	s.sinceCkpt++
+	return nil
+}
+
+// maybeFlushLocked writes the buffer out once it is large enough, and
+// rolls the segment when the active file exceeds SegmentBytes.
+func (s *Store) maybeFlushLocked() error {
+	if len(s.buffered) < 64<<10 {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.buffered) == 0 {
+		return nil
+	}
+	if _, err := s.active.Write(s.buffered); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.buffered = s.buffered[:0]
+	st, err := s.active.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if int(st.Size()) >= s.opts.SegmentBytes {
+		return s.rollSegmentLocked()
+	}
+	return nil
+}
+
+// rollSegmentLocked closes the active segment and opens the next one.
+func (s *Store) rollSegmentLocked() error {
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	var seq uint64 = 1
+	if n := len(s.segments); n > 0 {
+		seq = s.segments[n-1].seq + 1
+	}
+	path := filepath.Join(s.dir, "log", fmt.Sprintf("wal-%08d.seg", seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segments = append(s.segments, &segment{seq: seq, path: path})
+	s.active = f
+	return nil
+}
+
+// Flush writes buffered appends to the OS.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+// ShouldCheckpoint reports whether CheckpointEvery blocks were appended
+// since the last cut — the application then snapshots its ledger and
+// calls WriteCheckpoint.
+func (s *Store) ShouldCheckpoint() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts.CheckpointEvery > 0 && s.sinceCkpt >= s.opts.CheckpointEvery
+}
+
+// WriteCheckpoint durably installs a ledger snapshot and prunes every
+// log segment that holds only records at or below the snapshot height.
+// The snapshot is written to a temp file and renamed, so a crash leaves
+// either the old or the new checkpoint — never a torn one; segments are
+// pruned only after the rename.
+func (s *Store) WriteCheckpoint(cp *wire.CheckpointState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	raw := wire.EncodeCheckpoint(cp)
+	tmp := s.checkpointPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Fsync {
+		// Make the rename durable before any segment is unlinked: a
+		// power loss must never persist the prune without the
+		// checkpoint. (Without Fsync the store still survives process
+		// crashes — the rename is atomic and visible to any reopen —
+		// but not power loss; the simulator uses that mode.)
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	s.checkpoint = cp
+	s.sinceCkpt = 0
+	// A checkpoint can introduce chain state the log never saw (the
+	// catch-up install path writes the transferred snapshot first).
+	for _, b := range cp.Blocks {
+		if _, ok := s.byIndex[b.K]; !ok {
+			s.byIndex[b.K] = b.Digest
+		}
+		if b.K > s.lastK || !s.haveBlocks {
+			s.lastK = b.K
+		}
+		s.haveBlocks = true
+	}
+
+	// Mark the cut in the log, then prune segments entirely below it.
+	marker := make([]byte, 8)
+	binary.BigEndian.PutUint64(marker, cp.LastK)
+	s.buffered = wire.AppendRecord(s.buffered, wire.RecordCheckpoint, marker)
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	kept := s.segments[:0]
+	for i, seg := range s.segments {
+		last := i == len(s.segments)-1
+		if !last && seg.records > 0 && seg.lastK <= cp.LastK {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("store: pruning %s: %w", seg.path, err)
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.segments = kept
+	s.tail = tailAfterCheckpoint(s.tail, cp.LastK)
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames and unlinks inside it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// tailAfterCheckpoint filters replay records against a snapshot cut at
+// lastK: commits at or below the cut are folded into the snapshot and
+// dropped; commits beyond it are kept (a caller may legally append
+// block lastK+1 between capturing the snapshot and installing it), and
+// supersede records are always kept — a merge racing the cut may or may
+// not be folded in, and replaying a folded one is a no-op (the merged
+// set travels in the snapshot).
+func tailAfterCheckpoint(tail []Record, lastK uint64) []Record {
+	var kept []Record
+	for _, r := range tail {
+		if r.Supersede || r.Block.K > lastK {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// Recover rebuilds the ledger from the latest checkpoint (or a fresh
+// genesis) plus the replayed log tail. genesis seeds a fresh ledger when
+// no checkpoint exists — it must reproduce the node's boot-time state
+// (genesis allocations and staked deposits).
+func (s *Store) Recover(scheme crypto.Scheme, genesis func(*bm.Ledger)) (*bm.Ledger, error) {
+	s.mu.Lock()
+	cp := s.checkpoint
+	tail := make([]Record, len(s.tail))
+	copy(tail, s.tail)
+	s.mu.Unlock()
+
+	var l *bm.Ledger
+	if cp != nil {
+		l = bm.RestoreLedger(scheme, cp)
+	} else {
+		l = bm.NewLedger(scheme)
+		if genesis != nil {
+			genesis(l)
+		}
+	}
+	for _, r := range tail {
+		b := &bm.Block{K: r.Block.K, Digest: r.Block.Digest, Txs: r.Block.Txs}
+		if r.Supersede {
+			l.MergeBlock(b)
+		} else {
+			l.CommitBlock(b)
+		}
+	}
+	return l, nil
+}
+
+// BlockRecords returns (K, Attempt, Digest) coordinates for every chain
+// index the store knows of — checkpointed digests first (attempt 0: the
+// snapshot does not retain consensus attempts, which only matter for
+// routing in-flight traffic of undecided instances), then the replayed
+// tail. Per index the first record wins, matching bm's byIndex map.
+func (s *Store) BlockRecords() []wire.BlockRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byK := make(map[uint64]wire.BlockRecord)
+	if s.checkpoint != nil {
+		for _, b := range s.checkpoint.Blocks {
+			if _, ok := byK[b.K]; !ok {
+				byK[b.K] = wire.BlockRecord{K: b.K, Digest: b.Digest}
+			}
+		}
+	}
+	for _, r := range s.tail {
+		if _, ok := byK[r.Block.K]; !ok {
+			byK[r.Block.K] = wire.BlockRecord{K: r.Block.K, Attempt: r.Block.Attempt, Digest: r.Block.Digest}
+		}
+	}
+	ks := make([]uint64, 0, len(byK))
+	for k := range byK {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	out := make([]wire.BlockRecord, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, byK[k])
+	}
+	return out
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	if s.opts.Fsync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = nil
+	return nil
+}

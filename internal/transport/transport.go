@@ -63,6 +63,7 @@ func RegisterWireTypes() {
 	gob.Register(&accountability.Certificate{})
 	gob.Register(&utxo.Transaction{})
 	gob.Register(&SubmitTx{})
+	gob.Register(&SyncFrame{})
 }
 
 // envelope is the wire frame between peers.
@@ -75,6 +76,16 @@ type envelope struct {
 // replica's mempool.
 type SubmitTx struct {
 	Tx *utxo.Transaction
+}
+
+// SyncFrame carries a durable-store catch-up payload between nodes: a
+// wire.EncodeSyncReq payload when Req is set, a wire.EncodeSyncResp
+// payload otherwise. The binary payloads keep the store's CRC-framed
+// records end-to-end verifiable; gob only provides the outer framing,
+// like every other peer message.
+type SyncFrame struct {
+	Req     bool
+	Payload []byte
 }
 
 // event drives the node's single-threaded loop.
@@ -170,28 +181,38 @@ func (n *Node) Now() time.Duration { return time.Since(n.start) }
 func (n *Node) Rand() *rand.Rand { return n.rng }
 
 // Send implements simnet.Env: enqueue for the peer, dialing lazily. Self
-// sends loop back through the event queue.
+// sends loop back through the event queue. A send that fails on a cached
+// connection is retried once over a fresh dial: a peer that crashed and
+// restarted leaves half-dead connections behind, and the first write is
+// how we find out — without the retry, one-shot responses (catch-up,
+// store sync) to a freshly restarted peer are silently lost.
 func (n *Node) Send(to types.ReplicaID, msg simnet.Message) {
 	if to == n.cfg.Self {
 		n.enqueue(event{kind: 1, from: to, msg: msg})
 		return
 	}
-	pc, err := n.peer(to)
-	if err != nil {
-		return // unreachable peer: the protocols tolerate loss via quorums
-	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.enc == nil {
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := n.peer(to)
+		if err != nil {
+			return // unreachable peer: the protocols tolerate loss via quorums
+		}
+		pc.mu.Lock()
+		if pc.enc == nil {
+			pc.mu.Unlock()
+			return
+		}
+		err = pc.enc.Encode(envelope{From: n.cfg.Self, Msg: msg})
+		if err != nil {
+			pc.conn.Close()
+			pc.enc = nil
+			pc.mu.Unlock()
+			n.dropPeer(to)
+			continue // redial once; a second failure drops the message
+		}
+		pc.mu.Unlock()
+		n.Sent++
 		return
 	}
-	if err := pc.enc.Encode(envelope{From: n.cfg.Self, Msg: msg}); err != nil {
-		pc.conn.Close()
-		pc.enc = nil
-		n.dropPeer(to)
-		return
-	}
-	n.Sent++
 }
 
 // SetTimer implements simnet.Env with a real timer feeding the loop.

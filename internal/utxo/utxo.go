@@ -520,6 +520,29 @@ func (t *Table) Apply(tx *Transaction, scheme crypto.Scheme) error {
 	return nil
 }
 
+// Entry is one unspent output of the table, as enumerated by Entries.
+type Entry struct {
+	Op  Outpoint
+	Out Output
+}
+
+// Entries returns every unspent output sorted by outpoint — the
+// deterministic enumeration ledger checkpoints (internal/store) are
+// built from.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.utxos))
+	for op, o := range t.utxos {
+		out = append(out, Entry{Op: op, Out: o})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op.TxID != out[j].Op.TxID {
+			return out[i].Op.TxID.Less(out[j].Op.TxID)
+		}
+		return out[i].Op.Index < out[j].Op.Index
+	})
+	return out
+}
+
 // TotalValue sums every unspent output: conservation checks in tests.
 func (t *Table) TotalValue() types.Amount {
 	var sum types.Amount

@@ -1,0 +1,123 @@
+package zlb_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb"
+)
+
+// runPersistedScenario drives the fixed-seed workload of
+// determinism_test.go on a cluster persisting to dir.
+func runPersistedScenario(t *testing.T, dir string, checkpointEvery uint64) (*zlb.Cluster, zlb.Config, [3]*zlb.Wallet) {
+	t.Helper()
+	cfg := zlb.Config{N: 7, Seed: 42, WalletCount: 3, DataDir: dir, CheckpointEvery: checkpointEvery}
+	cluster, err := zlb.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws [3]*zlb.Wallet
+	for i := range ws {
+		w, err := cluster.WalletFor(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	for i := 0; i < 10; i++ {
+		tx, err := cluster.Pay(ws[0], ws[1].Address(), zlb.Amount(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.Submit(tx)
+	}
+	cluster.Start()
+	cluster.RunUntilQuiet(5 * time.Minute)
+	return cluster, cfg, ws
+}
+
+// TestPersistedClusterRecoverChain is the durable-store integration
+// test at the public API: a cluster runs with DataDir set, shuts down,
+// and RecoverChain reads every replica's chain and UTXO state back from
+// disk — digests, balances and deposit identical to the live run.
+func TestPersistedClusterRecoverChain(t *testing.T) {
+	dir := t.TempDir()
+	cluster, cfg, ws := runPersistedScenario(t, dir, 0)
+
+	liveDigests := cluster.BlockDigests()
+	if len(liveDigests) == 0 {
+		t.Fatal("no blocks committed")
+	}
+	liveDeposit := cluster.Deposit()
+	var liveBalances [3]zlb.Amount
+	for i := range ws {
+		liveBalances[i] = cluster.Balance(ws[i].Address())
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	for _, id := range cluster.Members() {
+		rec, err := zlb.RecoverChain(cfg, id)
+		if err != nil {
+			t.Fatalf("recover replica %v: %v", id, err)
+		}
+		if len(rec.Digests) != len(liveDigests) {
+			t.Fatalf("replica %v recovered %d blocks, want %d", id, len(rec.Digests), len(liveDigests))
+		}
+		for k, d := range liveDigests {
+			if rec.Digests[k] != d {
+				t.Errorf("replica %v block %d digest mismatch", id, k)
+			}
+		}
+		if rec.Deposit != liveDeposit {
+			t.Errorf("replica %v deposit %d, want %d", id, rec.Deposit, liveDeposit)
+		}
+		for i := range ws {
+			if got := rec.Balance(ws[i].Address()); got != liveBalances[i] {
+				t.Errorf("replica %v wallet %d balance %d, want %d", id, i, got, liveBalances[i])
+			}
+		}
+	}
+}
+
+// TestPersistedClusterCheckpointRecovery forces a checkpoint after every
+// block: recovery then starts from the snapshot (pruned bodies) instead
+// of replaying the full log, and must land on the identical state.
+func TestPersistedClusterCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cluster, cfg, ws := runPersistedScenario(t, dir, 1)
+	liveDigests := cluster.BlockDigests()
+	liveBalance := cluster.Balance(ws[1].Address())
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	id := cluster.Members()[0]
+	rec, err := zlb.RecoverChain(cfg, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, d := range liveDigests {
+		if rec.Digests[k] != d {
+			t.Errorf("block %d digest mismatch after checkpointed recovery", k)
+		}
+	}
+	if got := rec.Balance(ws[1].Address()); got != liveBalance {
+		t.Errorf("recovered balance %d, want %d", got, liveBalance)
+	}
+}
+
+// TestNewClusterRefusesUsedDataDir pins that a data directory already
+// holding a chain cannot be reused by a fresh cluster: the new run
+// would interleave a second chain into the same log.
+func TestNewClusterRefusesUsedDataDir(t *testing.T) {
+	dir := t.TempDir()
+	cluster, cfg, _ := runPersistedScenario(t, dir, 0)
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zlb.NewCluster(cfg); err == nil {
+		t.Fatal("NewCluster accepted a data dir that already holds a chain")
+	}
+}

@@ -28,6 +28,7 @@ var readmeRequired = []string{
 	"internal/harness",
 	"internal/simnet",
 	"internal/scenario",
+	"internal/store",
 }
 
 func main() {

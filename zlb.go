@@ -17,10 +17,12 @@
 // the accountable SBC stack (rbc, bincon, sbc), accountability
 // (statements, certificates, PoFs), the ASMR orchestration, the UTXO
 // ledger, the indexed mempool and the block-merge logic, the binary
-// wire codecs (internal/wire) framing batches and proofs, as well as
-// the baselines (HotStuff, Red Belly and Polygraph modes) and the
-// staged fault campaigns (internal/scenario) used by the evaluation.
-// See ARCHITECTURE.md for the paper-to-package map.
+// wire codecs (internal/wire) framing batches and proofs, the durable
+// block store with UTXO checkpoints and catch-up sync (internal/store,
+// enabled by Config.DataDir), as well as the baselines (HotStuff, Red
+// Belly and Polygraph modes) and the staged fault campaigns
+// (internal/scenario) used by the evaluation. See ARCHITECTURE.md for
+// the paper-to-package map.
 //
 // Quickstart:
 //
@@ -35,6 +37,7 @@ package zlb
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/accountability"
@@ -48,6 +51,7 @@ import (
 	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/payment"
 	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/store"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
 	"github.com/zeroloss/zlb/internal/wire"
@@ -109,6 +113,17 @@ type Config struct {
 	// Seed drives all randomness (default 1).
 	Seed int64
 
+	// DataDir, when set, makes every replica persist its chain to a
+	// durable block store (internal/store) under <DataDir>/r<id>:
+	// committed blocks and reconciliation merges write through, and a
+	// UTXO checkpoint is cut every CheckpointEvery blocks. The default
+	// (empty) keeps the deployment fully in-memory. RecoverChain reads a
+	// replica's persisted state back after the cluster is gone.
+	DataDir string
+	// CheckpointEvery is the checkpoint cadence in blocks (default 8)
+	// when DataDir is set.
+	CheckpointEvery uint64
+
 	// Deceitful makes the first `Deceitful` replicas a coalition running
 	// the configured Attack.
 	Deceitful int
@@ -152,19 +167,21 @@ type Cluster struct {
 	batches *wire.BatchCache
 }
 
-// node is the per-replica application state: mempool + ledger.
+// node is the per-replica application state: mempool + ledger, plus the
+// durable store when Config.DataDir is set.
 type node struct {
-	id      ReplicaID
-	ledger  *bm.Ledger
-	mempool *mempool.Pool
-	stakes  map[ReplicaID]Amount
+	id       ReplicaID
+	ledger   *bm.Ledger
+	mempool  *mempool.Pool
+	stakes   map[ReplicaID]Amount
+	store    *store.Store
+	storeErr error
 }
 
-// NewCluster builds and wires the deployment. The virtual clock starts at
-// zero; call Run to advance it.
-func NewCluster(cfg Config) (*Cluster, error) {
+// applyDefaults fills the zero-valued knobs of a configuration.
+func applyDefaults(cfg *Config) error {
 	if cfg.N < 4 {
-		return nil, fmt.Errorf("%w: N must be at least 4, got %d", ErrBadConfig, cfg.N)
+		return fmt.Errorf("%w: N must be at least 4, got %d", ErrBadConfig, cfg.N)
 	}
 	if cfg.WalletCount == 0 {
 		cfg.WalletCount = 3
@@ -181,40 +198,69 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 8
+	}
 	if cfg.Attack != NoAttack && cfg.PartitionDelayMs == 0 {
 		cfg.PartitionDelayMs = 3000
 	}
+	return nil
+}
 
-	c := &Cluster{cfg: cfg, nodes: make(map[ReplicaID]*node), batches: wire.NewBatchCache(0)}
-
-	// Payment-side PKI for wallets (separate from the replica PKI).
+// paymentSetup derives the payment-side PKI, the pre-funded test wallets
+// and the genesis allocation from a defaulted configuration — shared by
+// NewCluster and RecoverChain, which must rebuild the identical genesis
+// to replay a persisted chain. It also resolves GainBound and returns
+// the per-replica stake.
+func paymentSetup(cfg *Config) (crypto.Scheme, []*Wallet, map[Address]Amount, Amount, error) {
 	reg := crypto.NewRegistry(crypto.SchemeEd25519)
 	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, 0, err
 	}
-	c.scheme = scheme
 	rand := crypto.NewDeterministicRand(cfg.Seed ^ 0x77a11e7)
-	c.genesis = make(map[Address]Amount, len(cfg.InitialFunds)+cfg.WalletCount)
+	genesis := make(map[Address]Amount, len(cfg.InitialFunds)+cfg.WalletCount)
 	for a, v := range cfg.InitialFunds {
-		c.genesis[a] = v
+		genesis[a] = v
 	}
+	var wallets []*Wallet
 	for i := 0; i < cfg.WalletCount; i++ {
 		kp, err := scheme.GenerateKey(rand)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, 0, err
 		}
 		w := utxo.NewWallet(kp, scheme)
-		c.wallets = append(c.wallets, w)
-		c.genesis[w.Address()] += cfg.WalletFunds
+		wallets = append(wallets, w)
+		genesis[w.Address()] += cfg.WalletFunds
 	}
 	if cfg.GainBound == 0 {
-		for _, v := range c.genesis {
+		for _, v := range genesis {
 			cfg.GainBound += v
 		}
-		c.cfg.GainBound = cfg.GainBound
 	}
-	c.stake = payment.PerReplicaDeposit(cfg.N, cfg.DepositFactor, cfg.GainBound)
+	stake := payment.PerReplicaDeposit(cfg.N, cfg.DepositFactor, cfg.GainBound)
+	return scheme, wallets, genesis, stake, nil
+}
+
+// NewCluster builds and wires the deployment. The virtual clock starts at
+// zero; call Run to advance it.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := applyDefaults(&cfg); err != nil {
+		return nil, err
+	}
+	scheme, wallets, genesis, stake, err := paymentSetup(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   make(map[ReplicaID]*node),
+		batches: wire.NewBatchCache(0),
+		scheme:  scheme,
+		wallets: wallets,
+		genesis: genesis,
+		stake:   stake,
+	}
 
 	var attack adversary.Attack
 	switch cfg.Attack {
@@ -256,17 +302,37 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	// Wire the payment application into every replica (committee + pool).
 	all := append(append([]ReplicaID{}, inner.Members...), inner.PoolIDs...)
 	for _, id := range all {
-		c.nodes[id] = c.newNode(id)
+		n, err := c.newNode(id)
+		if err != nil {
+			return nil, fmt.Errorf("zlb: replica %v store: %w", id, err)
+		}
+		c.nodes[id] = n
 	}
 	return c, nil
 }
 
-func (c *Cluster) newNode(id ReplicaID) *node {
+func (c *Cluster) newNode(id ReplicaID) (*node, error) {
 	n := &node{
 		id:      id,
 		ledger:  bm.NewLedger(c.scheme),
 		mempool: mempool.New(),
 		stakes:  make(map[ReplicaID]Amount),
+	}
+	if c.cfg.DataDir != "" {
+		st, err := store.Open(replicaDataDir(c.cfg.DataDir, id),
+			store.Options{CheckpointEvery: c.cfg.CheckpointEvery})
+		if err != nil {
+			return nil, err
+		}
+		// A simulated cluster always starts its chain at instance 1: a
+		// directory already holding blocks would interleave two chains in
+		// one log. RecoverChain is the read path for a finished run.
+		if last, hasBlocks := st.LastK(); hasBlocks {
+			st.Close()
+			return nil, fmt.Errorf("%w: DataDir already holds a chain up to block %d (use RecoverChain to read it, or a fresh directory)",
+				ErrBadConfig, last)
+		}
+		n.store = st
 	}
 	n.ledger.Genesis(c.genesis)
 	// Replicas stake their deposits up front (§B assumption 2): the pool
@@ -279,7 +345,12 @@ func (c *Cluster) newNode(id ReplicaID) *node {
 	// The replica is already built by the harness; the app layer hooks in
 	// through the cluster-level callbacks below (see Run loop handlers).
 	_ = r
-	return n
+	return n, nil
+}
+
+// replicaDataDir is the per-replica store location under a data dir.
+func replicaDataDir(dataDir string, id ReplicaID) string {
+	return filepath.Join(dataDir, fmt.Sprintf("r%d", id))
 }
 
 // observer returns the replica whose view the read accessors report: the
@@ -407,10 +478,11 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 			}
 			return asmr.Batch{Payload: payload, ClaimedSigs: len(txs)}
 		},
-		OnCommit: func(k uint64, _ uint32, d *sbc.Decision) {
+		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
 			block := c.blockFrom(k, d)
 			applied := n.ledger.CommitBlock(block)
 			_ = applied
+			n.persistBlock(block, attempt, false)
 			n.pruneMempool(block)
 			if n.id == c.observer() && c.cfg.OnBlock != nil {
 				c.cfg.OnBlock(k, len(block.Txs))
@@ -420,6 +492,7 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 			// Reconciliation (phase ⑤): merge the conflicting branch.
 			block := c.blockFrom(k, remote)
 			n.ledger.MergeBlock(block)
+			n.persistBlock(block, 0, true)
 			n.pruneMempool(block)
 		},
 		OnPoF: func(p PoF) {
@@ -471,6 +544,28 @@ func (c *Cluster) blockFrom(k uint64, d *sbc.Decision) *bm.Block {
 
 func (n *node) pruneMempool(b *bm.Block) {
 	n.mempool.Prune(b.Txs)
+}
+
+// persistBlock writes a committed (or merged) block through to the
+// node's durable store and cuts a UTXO checkpoint when one is due.
+// Persistence failures are remembered on the cluster and surfaced by
+// Close — the simulation itself proceeds in-memory.
+func (n *node) persistBlock(b *bm.Block, attempt uint32, merge bool) {
+	if n.store == nil {
+		return
+	}
+	var err error
+	if merge {
+		err = n.store.AppendMerge(b, attempt)
+	} else {
+		err = n.store.AppendBlock(b, attempt)
+	}
+	if err == nil && n.store.ShouldCheckpoint() {
+		err = n.store.WriteCheckpoint(n.ledger.CheckpointState())
+	}
+	if err != nil && n.storeErr == nil {
+		n.storeErr = err
+	}
 }
 
 // Run advances the virtual clock by d, processing all due events.
@@ -545,4 +640,94 @@ func (c *Cluster) MinFinalizationDepth(rho float64) (int, error) {
 		branches = 2
 	}
 	return payment.MinDepth(branches, c.cfg.DepositFactor, rho)
+}
+
+// Close flushes and closes every replica's durable store (a no-op for
+// in-memory deployments) and returns the first persistence error
+// encountered during the run, if any.
+func (c *Cluster) Close() error {
+	var first error
+	for _, id := range types.SortReplicas(c.nodeIDs()) {
+		n := c.nodes[id]
+		if n.storeErr != nil && first == nil {
+			first = n.storeErr
+		}
+		if n.store != nil {
+			if err := n.store.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (c *Cluster) nodeIDs() []ReplicaID {
+	ids := make([]ReplicaID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// RecoveredChain is a replica's persisted state read back from its data
+// directory: the chain digests and the UTXO ledger rebuilt from the
+// latest checkpoint plus the replayed log tail.
+type RecoveredChain struct {
+	// Height is the number of stored blocks (merged siblings included).
+	Height int
+	// LastK is the highest chain index.
+	LastK uint64
+	// Digests is the digest of every stored block by chain index.
+	Digests map[uint64]types.Digest
+	// Deposit is the recovered slashed-deposit pool.
+	Deposit Amount
+
+	ledger *bm.Ledger
+}
+
+// Balance reads an account balance from the recovered ledger.
+func (r *RecoveredChain) Balance(addr Address) Amount {
+	return r.ledger.Table().Balance(addr)
+}
+
+// RecoverChain reopens the durable store a previous run left under
+// cfg.DataDir for the given replica and rebuilds its chain and UTXO
+// state — the crash-recovery read path. cfg must be the configuration
+// the original cluster ran with (the genesis allocation, wallets and
+// stakes are re-derived from it; a different seed or wallet count would
+// replay against the wrong genesis).
+func RecoverChain(cfg Config, id ReplicaID) (*RecoveredChain, error) {
+	if err := applyDefaults(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("%w: RecoverChain needs DataDir", ErrBadConfig)
+	}
+	scheme, _, genesis, stake, err := paymentSetup(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(replicaDataDir(cfg.DataDir, id), store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("zlb: %w", err)
+	}
+	defer st.Close()
+	ledger, err := st.Recover(scheme, func(l *bm.Ledger) {
+		l.Genesis(genesis)
+		// Replicas stake their deposits up front, exactly as NewCluster
+		// seeds every node (§B assumption 2).
+		for i := 0; i < cfg.N; i++ {
+			l.AddDeposit(stake)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("zlb: %w", err)
+	}
+	return &RecoveredChain{
+		Height:  ledger.Height(),
+		LastK:   ledger.LastK(),
+		Digests: ledger.BlockDigests(),
+		Deposit: ledger.Deposit(),
+		ledger:  ledger,
+	}, nil
 }
