@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/adversary"
@@ -30,17 +32,19 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	jsonDir := flag.String("json", "", "also emit machine-readable BENCH_<experiment>.json files into this directory")
+	sequential := flag.Bool("sequential", false, "fig3 only: force the commit pipeline off (A/B wall-clock comparisons)")
+	nsFlag := flag.String("ns", "", "fig3 only: comma-separated committee sizes overriding the default sweep")
 	flag.Parse()
 
 	start := time.Now()
-	if err := run(*experiment, *full, *seed, *jsonDir); err != nil {
+	if err := run(*experiment, *full, *seed, *jsonDir, *sequential, *nsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "zlb-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "\n[%v elapsed]\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(experiment string, full bool, seed int64, jsonDir string) error {
+func run(experiment string, full bool, seed int64, jsonDir string, sequential bool, nsFlag string) error {
 	// emit mirrors an experiment's points into BENCH_<name>.json when
 	// -json is set, so the perf trajectory is tracked across PRs.
 	emit := func(name string, data any) error {
@@ -63,7 +67,17 @@ func run(experiment string, full bool, seed int64, jsonDir string) error {
 
 	if all || experiment == "fig3" {
 		ran = true
-		points, err := bench.RunFig3(bench.Fig3Config{Ns: ns, Instances: 3, Seed: seed})
+		if nsFlag != "" {
+			ns = nil
+			for _, part := range strings.Split(nsFlag, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return fmt.Errorf("bad -ns entry %q: %w", part, err)
+				}
+				ns = append(ns, v)
+			}
+		}
+		points, err := bench.RunFig3(bench.Fig3Config{Ns: ns, Instances: 3, Seed: seed, Sequential: sequential})
 		if err != nil {
 			return err
 		}

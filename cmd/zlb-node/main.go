@@ -41,6 +41,7 @@ import (
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/store"
@@ -59,6 +60,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable block store directory (empty = in-memory only)")
 	checkpointEvery := flag.Uint64("checkpoint-every", 16, "blocks between UTXO checkpoints")
 	sync := flag.Bool("sync", false, "bootstrap an empty -data-dir from peers (checkpoint + log tail) before joining")
+	sequential := flag.Bool("sequential", false, "disable the multi-core commit pipeline (verify and apply inline)")
 	flag.Parse()
 
 	if *id == 0 || *listen == "" || *peersFlag == "" {
@@ -79,6 +81,7 @@ func main() {
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
 		Sync:            *sync,
+		Sequential:      *sequential,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -108,6 +111,10 @@ type nodeConfig struct {
 	DataDir         string
 	CheckpointEvery uint64
 	Sync            bool
+	// Sequential disables the multi-core commit pipeline: certificates,
+	// transaction signatures and block application run inline on the
+	// event loop. The chain is bit-identical either way.
+	Sequential bool
 	// SyncTimeout bounds the bootstrap wait for peer responses (default 5s).
 	SyncTimeout time.Duration
 	Logf        func(format string, args ...any)
@@ -123,6 +130,11 @@ type replicaNode struct {
 	batches  *wire.BatchCache
 	txScheme crypto.Scheme
 	faucet   utxo.Address
+	// Commit pipeline (nil in -sequential mode): shared certificate
+	// verdicts for the consensus layer, speculative transaction
+	// verification for the payment layer.
+	certs *pipeline.Verifier
+	txv   *pipeline.TxVerifier
 
 	// All fields below are touched only on the transport event loop.
 	ledger *bm.Ledger
@@ -172,6 +184,9 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		syncResps: make(map[types.ReplicaID]*wire.SyncResp),
 		served:    make(chan struct{}),
 	}
+	if !cfg.Sequential {
+		rn.certs = pipeline.NewVerifier(pipeline.Shared())
+	}
 	rn.node = transport.NewNode(transport.Config{Self: cfg.Self, Listen: cfg.Listen, Peers: peers})
 
 	// Payment application state.
@@ -181,6 +196,14 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		return nil, err
 	}
 	rn.txScheme = txScheme
+	if !cfg.Sequential {
+		rn.txv = pipeline.NewTxVerifier(pipeline.Shared(), txScheme)
+		// Pipeline handoff: transactions start verifying the moment a
+		// client submit lands in the mempool.
+		rn.pool.SetPreverify(func(tx *utxo.Transaction) {
+			rn.txv.Preverify([]*utxo.Transaction{tx})
+		})
+	}
 	faucetKP, err := txScheme.GenerateKey(crypto.NewDeterministicRand(cfg.Seed ^ 0xFA0CE7))
 	if err != nil {
 		return nil, err
@@ -212,6 +235,7 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		rn.ledger = bm.NewLedger(txScheme)
 		rn.seedGenesis(rn.ledger)
 	}
+	rn.ledger.SetParallel(rn.txv.Pool())
 
 	rn.replica = asmr.NewReplica(asmr.Config{
 		Self:             cfg.Self,
@@ -221,6 +245,11 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		Accountable:      true,
 		Recover:          true,
 		WaitForWork:      true,
+		Certs:            rn.certs,
+		OnProposal: func(k uint64, payload []byte) {
+			// Pre-validate the delivered batch while consensus decides.
+			rn.txv.SpeculateBatch(payload, rn.batches)
+		},
 		BatchSource: func(k uint64) asmr.Batch {
 			txs := rn.pool.Take(2000)
 			if len(txs) == 0 {
@@ -408,6 +437,7 @@ func (rn *replicaNode) finishSync() {
 		ledger, err = store.InstallSync(rn.st, rn.txScheme, best, rn.seedGenesis)
 		if err == nil {
 			rn.ledger = ledger
+			rn.ledger.SetParallel(rn.txv.Pool())
 			restored := make([]asmr.RestoredBlock, 0)
 			for _, rec := range rn.st.BlockRecords() {
 				restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})

@@ -4,10 +4,12 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
 	"github.com/zeroloss/zlb"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/scenario"
 )
 
@@ -145,6 +147,115 @@ func TestScenarioGoldens(t *testing.T) {
 				t.Errorf("per-phase metrics diverged from golden:\n--- got\n%s--- want\n%s", first, want)
 			}
 		})
+	}
+}
+
+// runPipelineScenario is runDeterminismScenario with an explicit commit
+// mode; it returns the chain digests, the final virtual clock and the
+// three wallet balances — everything the pipeline must leave untouched.
+func runPipelineScenario(t *testing.T, sequential bool) (map[uint64]zlb.Digest, time.Duration, [3]zlb.Amount) {
+	t.Helper()
+	cluster, err := zlb.NewCluster(zlb.Config{N: 7, Seed: 42, WalletCount: 3, SequentialCommit: sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws [3]*zlb.Wallet
+	for i := range ws {
+		w, err := cluster.WalletFor(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	for i := 0; i < 10; i++ {
+		tx, err := cluster.Pay(ws[0], ws[1].Address(), zlb.Amount(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.Submit(tx)
+	}
+	cluster.Start()
+	cluster.RunUntilQuiet(5 * time.Minute)
+	var balances [3]zlb.Amount
+	for i := range ws {
+		balances[i] = cluster.Balance(ws[i].Address())
+	}
+	return cluster.BlockDigests(), cluster.Now(), balances
+}
+
+// TestPipelineModesBitIdentical is the commit pipeline's determinism
+// contract: the parallel pipeline under GOMAXPROCS=1, the parallel
+// pipeline under GOMAXPROCS=4 and the forced-sequential mode
+// (Config.SequentialCommit) must produce identical chain digests,
+// identical virtual clocks and identical balances. The worker pool only
+// computes pure verdicts, so scheduling must never leak into results.
+func TestPipelineModesBitIdentical(t *testing.T) {
+	// Force a multi-worker pool before anything touches it: the shared
+	// pool is sized at first use, and on a single-core host (or if the
+	// sequential reference ran first) it would otherwise degenerate to
+	// one worker and the GOMAXPROCS subtests below would not exercise
+	// concurrent fan-in at all. If another test already created the pool
+	// its width is fixed, but on CI (multi-core) GOMAXPROCS is >1 from
+	// process start, so the pool is multi-worker regardless of ordering.
+	prev := runtime.GOMAXPROCS(4)
+	pipeline.Shared()
+	runtime.GOMAXPROCS(prev)
+
+	refDigests, refNow, refBal := runPipelineScenario(t, true)
+	if len(refDigests) == 0 {
+		t.Fatal("sequential run committed no blocks")
+	}
+	modes := []struct {
+		name     string
+		maxprocs int
+	}{
+		{"parallel/GOMAXPROCS=1", 1},
+		{"parallel/GOMAXPROCS=4", 4},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(m.maxprocs)
+			defer runtime.GOMAXPROCS(prev)
+			digests, now, bal := runPipelineScenario(t, false)
+			if len(digests) != len(refDigests) {
+				t.Fatalf("chain length %d, want %d", len(digests), len(refDigests))
+			}
+			for k, d := range refDigests {
+				if digests[k] != d {
+					t.Errorf("block %d digest %v, want %v", k, digests[k], d)
+				}
+			}
+			if now != refNow {
+				t.Errorf("virtual clock %v, want %v", now, refNow)
+			}
+			if bal != refBal {
+				t.Errorf("balances %v, want %v", bal, refBal)
+			}
+		})
+	}
+}
+
+// TestScenarioGoldenSequentialMode re-runs one registered campaign with
+// the pipeline forced off and pins its per-phase metrics to the same
+// golden the parallel run satisfies: fault campaigns (attacks, merges,
+// membership changes) must be pipeline-invariant too.
+func TestScenarioGoldenSequentialMode(t *testing.T) {
+	const name = "attack-detect-exclude-merge"
+	s, err := scenario.Build(name, 9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Opts.Sequential = true
+	res, err := scenario.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "scenario_goldens", name+".golden"))
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	if res.Format() != string(want) {
+		t.Errorf("sequential-mode metrics diverged from golden:\n--- got\n%s--- want\n%s", res.Format(), want)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
@@ -79,7 +80,17 @@ type Config struct {
 	// every channel that would incriminate the coalition (confirmation
 	// broadcasts, PoF gossip, membership changes, block evidence service).
 	Deceitful bool
+	// Certs, when set, routes every certificate verification this replica
+	// performs (binary-consensus decisions, catch-up blocks, join
+	// notices) through the commit pipeline: verdicts are cached per
+	// certificate for the whole deployment and signature checks fan out
+	// across the worker pool. Nil verifies inline.
+	Certs *pipeline.Verifier
 
+	// OnProposal observes every proposal payload the moment the reliable
+	// broadcast delivers it, before the instance decides — the
+	// application's hook for speculative batch pre-validation.
+	OnProposal func(k uint64, payload []byte)
 	// OnCommit fires when instance k decides (phase ①).
 	OnCommit func(k uint64, attempt uint32, d *sbc.Decision)
 	// OnSlotDecide observes per-slot binary decisions (Fig. 4's
@@ -166,6 +177,7 @@ const maxPending = 1 << 17
 // Nil fields keep the existing binding.
 type AppBindings struct {
 	BatchSource        func(k uint64) Batch
+	OnProposal         func(k uint64, payload []byte)
 	OnCommit           func(k uint64, attempt uint32, d *sbc.Decision)
 	OnFinal            func(k uint64, digest types.Digest)
 	OnDisagreement     func(k uint64, local, remote *sbc.Decision)
@@ -178,6 +190,9 @@ type AppBindings struct {
 func (r *Replica) Rebind(b AppBindings) {
 	if b.BatchSource != nil {
 		r.cfg.BatchSource = b.BatchSource
+	}
+	if b.OnProposal != nil {
+		r.cfg.OnProposal = b.OnProposal
 	}
 	if b.OnCommit != nil {
 		prev := r.cfg.OnCommit
@@ -457,7 +472,13 @@ func (r *Replica) buildSBC(k uint64, st *instState) *sbc.Instance {
 		Env:          r.cfg.Env,
 		Accountable:  r.cfg.Accountable,
 		CoordTimeout: r.cfg.CoordTimeout,
-		Adversary:    adv,
+		Certs:        r.cfg.Certs,
+		OnProposal: func(payload []byte) {
+			if r.cfg.OnProposal != nil {
+				r.cfg.OnProposal(st.k, payload)
+			}
+		},
+		Adversary: adv,
 		OnSlotDecide: func(slot types.ReplicaID, value bool, digest types.Digest) {
 			if r.cfg.OnSlotDecide != nil {
 				r.cfg.OnSlotDecide(st.k, st.attempt, slot, value, digest)
@@ -612,7 +633,7 @@ func (r *Replica) onBlockResp(_ types.ReplicaID, m *BlockResp) {
 	if st.remoteSeen[dig] {
 		return
 	}
-	if err := VerifyDecision(r.cfg.Signer, m.Decision, r.view.Size()); err != nil {
+	if err := VerifyDecisionWith(r.cfg.Certs, r.cfg.Signer, m.Decision, r.view.Size()); err != nil {
 		return
 	}
 	st.remoteSeen[dig] = true
@@ -811,7 +832,7 @@ func (r *Replica) onJoinNotice(_ types.ReplicaID, m *JoinNotice) {
 	// block) is the catch-up cost of Fig. 5 (right).
 	n := len(m.Committee)
 	for _, b := range m.Blocks {
-		if err := VerifyDecision(r.cfg.Signer, b.Decision, n); err != nil {
+		if err := VerifyDecisionWith(r.cfg.Certs, r.cfg.Signer, b.Decision, n); err != nil {
 			return
 		}
 	}
@@ -883,7 +904,7 @@ func (r *Replica) onCatchupResp(_ types.ReplicaID, m *CatchupResp) {
 		if _, dup := r.committed[b.K]; dup {
 			continue
 		}
-		if err := VerifyDecision(r.cfg.Signer, b.Decision, r.view.Size()); err != nil {
+		if err := VerifyDecisionWith(r.cfg.Certs, r.cfg.Signer, b.Decision, r.view.Size()); err != nil {
 			continue
 		}
 		st := r.ensureInstance(b.K)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/types"
 )
@@ -27,6 +28,98 @@ var (
 // or when auditing a conflicting branch — its cost is what makes the
 // paper's Figure 5 (catch-up time grows with n) look the way it does.
 func VerifyDecision(v *crypto.Signer, d *sbc.Decision, n int) error {
+	return VerifyDecisionWith(nil, v, d, n)
+}
+
+// VerifyDecisionWith is VerifyDecision routed through the commit
+// pipeline: certificate verdicts are shared with every other component
+// that saw the same certificates, signature checks fan out across the
+// worker pool, and the per-slot payload digests (the batch digests of a
+// superblock) are hashed in parallel with deterministic fan-in by slot
+// order. A nil verifier runs everything inline — identical verdicts.
+func VerifyDecisionWith(certs *pipeline.Verifier, v *crypto.Signer, d *sbc.Decision, n int) error {
+	if d == nil {
+		return ErrNoDecision
+	}
+	// Batch digests first: hash every decided-1 payload on the pool. The
+	// slots are checked in sorted order below, so the first error reported
+	// does not depend on scheduling.
+	slots := make([]types.ReplicaID, 0, len(d.Bits))
+	for id := range d.Bits {
+		slots = append(slots, id)
+	}
+	types.SortReplicas(slots)
+	hashOK := make(map[types.ReplicaID]bool, len(slots))
+	var hashed []types.ReplicaID
+	for _, id := range slots {
+		if d.Bits[id] {
+			if _, ok := d.Proposals[id]; ok {
+				hashed = append(hashed, id)
+			}
+		}
+	}
+	oks := make([]bool, len(hashed))
+	certs.Pool().Map(len(hashed), func(i int) {
+		p := d.Proposals[hashed[i]]
+		oks[i] = types.Hash(p.Payload) == p.Digest
+	})
+	for i, id := range hashed {
+		hashOK[id] = oks[i]
+	}
+	readyMin := 2*types.MaxClassicFaults(n) + 1
+	for _, id := range slots {
+		bit := d.Bits[id]
+		cert := d.BinCerts[id]
+		if cert == nil {
+			return fmt.Errorf("%w: slot %v", ErrMissingCert, id)
+		}
+		if cert.Stmt.Kind != accountability.KindAux ||
+			cert.Stmt.Instance != d.Instance ||
+			cert.Stmt.Slot != uint32(id) ||
+			accountability.DigestBool(cert.Stmt.Value) != bit {
+			return fmt.Errorf("%w: slot %v", ErrWrongContext, id)
+		}
+		if err := certs.VerifyCertificate(cert, v, n, nil); err != nil {
+			return fmt.Errorf("%w: slot %v: %v", ErrBadCert, id, err)
+		}
+		if !bit {
+			continue
+		}
+		if _, ok := d.Proposals[id]; !ok {
+			return fmt.Errorf("%w: slot %v decided 1 without payload", ErrNoDecision, id)
+		}
+		if !hashOK[id] {
+			return fmt.Errorf("%w: slot %v", ErrBadPayload, id)
+		}
+		p := d.Proposals[id]
+		if rc := d.ReadyCerts[id]; rc != nil {
+			if rc.Stmt.Kind != accountability.KindReady ||
+				rc.Stmt.Instance != d.Instance ||
+				rc.Stmt.Slot != uint32(id) ||
+				rc.Stmt.Value != p.Digest {
+				return fmt.Errorf("%w: ready cert slot %v", ErrWrongContext, id)
+			}
+			seen := types.NewReplicaSet()
+			for _, sig := range rc.Sigs {
+				if sig.Stmt != rc.Stmt {
+					return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+				}
+				seen.Add(sig.Signer)
+			}
+			if certs.VerifySignedBatch(rc.Sigs, v) >= 0 {
+				return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+			}
+			if seen.Len() < readyMin {
+				return fmt.Errorf("%w: ready cert slot %v below 2t+1", ErrBadCert, id)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyDecisionLegacy is the original inline implementation, kept as
+// the reference the equivalence test pins VerifyDecisionWith against.
+func verifyDecisionLegacy(v *crypto.Signer, d *sbc.Decision, n int) error {
 	if d == nil {
 		return ErrNoDecision
 	}

@@ -1,0 +1,67 @@
+package asmr
+
+import (
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/pipeline"
+	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// TestVerifyDecisionWithMatchesLegacy pins the pipelined decision audit
+// (shared certificate verdicts, worker-pool fan-out, parallel payload
+// hashing) to the original inline implementation: identical accept/reject
+// verdicts on a real decision and on every tampering the legacy tests
+// cover, through a live verifier and through the nil (sequential)
+// verifier.
+func TestVerifyDecisionWithMatchesLegacy(t *testing.T) {
+	d, signers := decideInstance(t, 7)
+	verifier := pipeline.NewVerifier(pipeline.Shared())
+
+	variants := map[string]*sbc.Decision{
+		"real": d,
+		"nil":  nil,
+	}
+	tampered := *d
+	tampered.Bits = map[types.ReplicaID]bool{}
+	for id, b := range d.Bits {
+		tampered.Bits[id] = b
+	}
+	for id, b := range tampered.Bits {
+		if b {
+			tampered.Bits[id] = false
+			break
+		}
+	}
+	variants["flipped bit"] = &tampered
+
+	payloadTampered := *d
+	payloadTampered.Proposals = map[types.ReplicaID]sbc.ProposalInfo{}
+	for id, p := range d.Proposals {
+		payloadTampered.Proposals[id] = p
+	}
+	for id, p := range payloadTampered.Proposals {
+		p.Payload = []byte("evil")
+		payloadTampered.Proposals[id] = p
+		break
+	}
+	variants["tampered payload"] = &payloadTampered
+
+	for name, dec := range variants {
+		want := verifyDecisionLegacy(signers[0], dec, 7)
+		gotPipelined := VerifyDecisionWith(verifier, signers[0], dec, 7)
+		gotSequential := VerifyDecisionWith(nil, signers[0], dec, 7)
+		if (want == nil) != (gotPipelined == nil) {
+			t.Errorf("%s: legacy err=%v, pipelined err=%v", name, want, gotPipelined)
+		}
+		if (want == nil) != (gotSequential == nil) {
+			t.Errorf("%s: legacy err=%v, sequential err=%v", name, want, gotSequential)
+		}
+		// Re-verify through the same verifier: the cached certificate
+		// verdicts must not change the outcome.
+		gotCached := VerifyDecisionWith(verifier, signers[0], dec, 7)
+		if (want == nil) != (gotCached == nil) {
+			t.Errorf("%s: legacy err=%v, cached err=%v", name, want, gotCached)
+		}
+	}
+}

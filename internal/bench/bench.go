@@ -76,6 +76,10 @@ type Fig3Config struct {
 	Seed      int64
 	// Systems defaults to all four.
 	Systems []System
+	// Sequential forces the commit pipeline off (harness.Options.
+	// Sequential) — the A/B switch behind EXPERIMENTS.md's wall-clock
+	// table. Virtual-time throughput is identical either way.
+	Sequential bool
 }
 
 // RunFig3 reproduces Figure 3: throughput of ZLB, Red Belly, Polygraph
@@ -94,7 +98,7 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 	var out []Fig3Point
 	for _, n := range cfg.Ns {
 		for _, sys := range systems {
-			p, err := runFig3Point(sys, n, cfg.Instances, cfg.Seed)
+			p, err := runFig3Point(sys, n, cfg.Instances, cfg.Seed, cfg.Sequential)
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s n=%d: %w", sys, n, err)
 			}
@@ -111,7 +115,7 @@ func shardedSigOps(n int) int {
 	return BatchTxs * (t + 1) / n
 }
 
-func runFig3Point(sys System, n int, instances uint64, seed int64) (Fig3Point, error) {
+func runFig3Point(sys System, n int, instances uint64, seed int64, sequential bool) (Fig3Point, error) {
 	if sys == SystemHotStuff {
 		return runFig3HotStuff(n, instances, seed)
 	}
@@ -122,6 +126,7 @@ func runFig3Point(sys System, n int, instances uint64, seed int64) (Fig3Point, e
 		Seed:         seed,
 		BatchTxs:     shardedSigOps(n),
 		BatchBytes:   BatchSize,
+		Sequential:   sequential,
 		PoolSize:     1, // no membership changes expected at f=0
 		CoordTimeout: func(r types.Round) time.Duration {
 			return 600 * time.Millisecond * time.Duration(r+1)

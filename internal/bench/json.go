@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
 )
 
 // JSONReport is the machine-readable envelope zlb-bench emits per
 // experiment (BENCH_<experiment>.json): the perf trajectory across PRs
 // is tracked by diffing these files instead of prose-only EXPERIMENTS.md
-// tables.
+// tables. The provenance block makes every report attributable: which
+// commit produced it, on how many cores, when, with which toolchain.
 type JSONReport struct {
 	// Experiment names the run (fig3, table1, scenarios, ...).
 	Experiment string `json:"experiment"`
@@ -18,9 +22,46 @@ type JSONReport struct {
 	// reproducible from its own metadata.
 	Seed int64 `json:"seed"`
 	Full bool  `json:"full"`
+	// Commit is the VCS revision the binary was built from (with a
+	// "-dirty" suffix for modified trees), or "unknown" outside a build
+	// with VCS stamping.
+	Commit string `json:"commit"`
+	// GOMAXPROCS is the worker-pool width the commit pipeline ran with —
+	// wall-clock numbers are only comparable at equal widths.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Timestamp is the report's creation time (UTC, RFC 3339).
+	Timestamp string `json:"timestamp"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
 	// Data is the experiment's point slice (Fig3Point, Fig4Point,
 	// scenario.Result, ...), marshaled with its exported fields.
 	Data any `json:"data"`
+}
+
+// vcsRevision reads the commit hash out of the binary's embedded build
+// info; "unknown" when the binary was not built from a VCS checkout
+// (e.g. `go test` in a module cache).
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		return rev + "-dirty"
+	}
+	return rev
 }
 
 // WriteJSON writes one experiment's report to <dir>/BENCH_<name>.json,
@@ -29,7 +70,16 @@ func WriteJSON(dir, name string, seed int64, full bool, data any) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("bench: %w", err)
 	}
-	report := JSONReport{Experiment: name, Seed: seed, Full: full, Data: data}
+	report := JSONReport{
+		Experiment: name,
+		Seed:       seed,
+		Full:       full,
+		Commit:     vcsRevision(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Data:       data,
+	}
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return fmt.Errorf("bench: marshaling %s: %w", name, err)

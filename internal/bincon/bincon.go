@@ -32,6 +32,7 @@ import (
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
 )
@@ -145,6 +146,14 @@ type Config struct {
 	CoordTimeout func(round types.Round) time.Duration
 	OnDecide     func(Decision)
 	Equivocator  *Equivocator
+	// Certs, when set, routes decision-certificate verification through
+	// the commit pipeline: the verdict is computed once per certificate
+	// object for the whole deployment (a DECIDE multicast used to be
+	// re-verified by each of its n receivers), its signatures fan out
+	// across the worker pool, and the sender speculates the check before
+	// the first delivery. Nil verifies inline — same verdicts, one
+	// receiver at a time.
+	Certs *pipeline.Verifier
 }
 
 const defaultCoordTimeout = 400 * time.Millisecond
@@ -680,6 +689,16 @@ func (b *Instance) drainPending() {
 	b.reevaluate(b.round)
 }
 
+// verifyCert checks a decision certificate through the pipeline verifier
+// when one is configured, inline otherwise — identical verdicts either
+// way.
+func (b *Instance) verifyCert(cert *accountability.Certificate) error {
+	if b.cfg.Certs != nil {
+		return b.cfg.Certs.VerifyCertificate(cert, b.cfg.Signer, b.cfg.View.Size(), nil)
+	}
+	return cert.Verify(b.cfg.Signer, b.cfg.View.Size(), nil)
+}
+
 // OnDecide handles a propagated decision.
 func (b *Instance) OnDecide(from types.ReplicaID, msg *Decide) {
 	if msg.Context != b.cfg.Context || msg.Instance != b.cfg.Instance || msg.Slot != b.cfg.Slot {
@@ -708,7 +727,7 @@ func (b *Instance) OnDecide(from types.ReplicaID, msg *Decide) {
 		// Quorum is evaluated against the full committee size; member
 		// filter nil so certificates with excluded signers remain
 		// transiently acceptable (paper §4.1 ).
-		if err := msg.Cert.Verify(b.cfg.Signer, b.cfg.View.Size(), nil); err != nil {
+		if err := b.verifyCert(msg.Cert); err != nil {
 			return
 		}
 		if b.cfg.Log != nil {
@@ -736,6 +755,10 @@ func (b *Instance) deliverDecision(d Decision, own bool) {
 	suppress := b.cfg.Equivocator != nil && b.cfg.Equivocator.SuppressDecide
 	if (own || !b.forwarded) && !suppress {
 		b.forwarded = true
+		// Speculate the certificate check on the pipeline: the receivers'
+		// verdict is settled (once, off the event loop) while the DECIDE
+		// messages are still in flight.
+		b.cfg.Certs.Speculate(d.Cert, b.cfg.Signer)
 		b.multicast(&Decide{
 			Context:  b.cfg.Context,
 			Instance: b.cfg.Instance,

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
 )
@@ -43,6 +44,10 @@ func NewBlock(k uint64, txs []*utxo.Transaction) *Block {
 type Ledger struct {
 	scheme crypto.Scheme
 	table  *utxo.Table
+	// pool, when set, enables the parallel commit path: independent
+	// transactions of a block apply concurrently on the striped UTXO
+	// table (SetParallel).
+	pool *pipeline.Pool
 
 	// deposit is the pooled slashed stake available to fund conflicting
 	// inputs (Alg. 2 line 3).
@@ -150,24 +155,154 @@ func (l *Ledger) BlockDigests() map[uint64]types.Digest {
 // HasTx reports whether a transaction is committed.
 func (l *Ledger) HasTx(id types.Digest) bool { return l.txs[id] }
 
+// SetParallel enables the parallel commit path on the given worker pool
+// (nil disables it — the forced-sequential mode of the commit pipeline).
+// Both paths produce bit-identical ledger state and applied counts; the
+// determinism tests pin this.
+func (l *Ledger) SetParallel(pool *pipeline.Pool) { l.pool = pool }
+
+// minParallelTxs is the block size below which the parallel commit path
+// is not worth its classification pass.
+const minParallelTxs = 16
+
 // CommitBlock appends a decided block on the happy path: transactions are
 // validated strictly against the UTXO table; invalid ones are skipped
 // (SBC-Validity filtered them at proposal time; a residue can appear when
 // two proposals in one superblock spend the same output — first one wins,
-// deterministically by block order).
+// deterministically by block order). With SetParallel, transactions the
+// conflict analysis proves independent are verified and applied
+// concurrently on the worker pool; everything else falls back to
+// sequential block order.
 func (l *Ledger) CommitBlock(b *Block) (applied int) {
-	for _, tx := range b.Txs {
-		id := tx.ID()
-		if l.txs[id] {
-			continue
+	if l.pool != nil && l.scheme != nil && len(b.Txs) >= minParallelTxs {
+		applied = l.commitParallel(b)
+	} else {
+		for _, tx := range b.Txs {
+			id := tx.ID()
+			if l.txs[id] {
+				continue
+			}
+			if err := l.table.Apply(tx, l.scheme); err != nil {
+				continue
+			}
+			l.txs[id] = true
+			applied++
 		}
-		if err := l.table.Apply(tx, l.scheme); err != nil {
-			continue
-		}
-		l.txs[id] = true
-		applied++
 	}
 	l.storeBlock(b)
+	return applied
+}
+
+// Transaction classes of the parallel commit's conflict analysis.
+const (
+	classPar  uint8 = iota // independent: applies on the worker pool
+	classSeq               // conflicting or dependent: sequential, block order
+	classSkip              // already committed before this block
+)
+
+// commitParallel is the conflict-detecting parallel apply. A transaction
+// runs in the parallel set only when nothing else in the block can
+// influence its validity or effects: its inputs are not consumed by any
+// other block transaction, it does not spend an output produced inside
+// the block, no block transaction spends its outputs, and its ID is
+// unique in the block. Such transactions validate against pre-block table
+// state whatever the order, and their effects land on disjoint outpoints
+// (striped-table balance updates commute), so parallel application is
+// bit-identical to sequential. Everything else — intra-block dependency
+// chains, double spends resolved first-wins, duplicate IDs — replays
+// sequentially in block order after the parallel set, which cannot change
+// its outcome either (the sequential residue never touches a parallel
+// transaction's inputs or outputs).
+func (l *Ledger) commitParallel(b *Block) (applied int) {
+	n := len(b.Txs)
+	ids := make([]types.Digest, n)
+	classes := make([]uint8, n)
+	blockIDs := make(map[types.Digest]int, n)  // tx ID -> first index
+	inputUse := make(map[utxo.Outpoint]int, n) // input -> spending txs
+	refs := make(map[types.Digest]bool, n)     // in-block produced IDs spent by the block
+	for i, tx := range b.Txs {
+		ids[i] = tx.ID() // memoize on this goroutine; workers only read
+		if l.txs[ids[i]] {
+			classes[i] = classSkip
+			continue
+		}
+		if first, dup := blockIDs[ids[i]]; dup {
+			// Duplicate IDs replay sequentially so first-wins (and the
+			// pathological fail-then-succeed retry) behave exactly as the
+			// sequential loop.
+			classes[first] = classSeq
+			classes[i] = classSeq
+		} else {
+			blockIDs[ids[i]] = i
+		}
+		for _, in := range tx.Inputs {
+			inputUse[in.Prev]++
+		}
+	}
+	for i, tx := range b.Txs {
+		if classes[i] == classSkip {
+			continue
+		}
+		for _, in := range tx.Inputs {
+			if _, inBlock := blockIDs[in.Prev.TxID]; inBlock {
+				refs[in.Prev.TxID] = true
+			}
+		}
+	}
+	var parIdx []int
+	for i, tx := range b.Txs {
+		if classes[i] != classPar {
+			continue
+		}
+		indep := !refs[ids[i]]
+		if indep {
+			for _, in := range tx.Inputs {
+				if inputUse[in.Prev] > 1 {
+					indep = false
+					break
+				}
+				if _, inBlock := blockIDs[in.Prev.TxID]; inBlock {
+					indep = false
+					break
+				}
+			}
+		}
+		if indep {
+			parIdx = append(parIdx, i)
+		} else {
+			classes[i] = classSeq
+		}
+	}
+
+	ok := make([]bool, len(parIdx))
+	l.pool.Map(len(parIdx), func(j int) {
+		tx := b.Txs[parIdx[j]]
+		ok[j] = l.table.Apply(tx, l.scheme) == nil
+	})
+
+	// Bookkeeping fans in on this goroutine, in block order; the
+	// sequential residue applies here too.
+	next := 0
+	for i, tx := range b.Txs {
+		switch classes[i] {
+		case classSkip:
+		case classPar:
+			if ok[next] {
+				l.txs[ids[i]] = true
+				applied++
+			}
+			next++
+		case classSeq:
+			if l.txs[ids[i]] {
+				continue
+			}
+			if err := l.table.Apply(tx, l.scheme); err != nil {
+				continue
+			}
+			l.txs[ids[i]] = true
+			applied++
+		}
+	}
 	return applied
 }
 

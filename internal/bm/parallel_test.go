@@ -1,0 +1,166 @@
+package bm
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/pipeline"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+)
+
+// buildCommitFixture creates a scheme, funded wallets and a block that
+// exercises every class of the parallel commit's conflict analysis:
+// plenty of independent transactions, an intra-block dependency chain, a
+// double spend, a forged signature, a duplicate entry and an overspend.
+func buildCommitFixture(t *testing.T) (crypto.Scheme, map[utxo.Address]types.Amount, *Block) {
+	t.Helper()
+	reg := crypto.NewRegistry(crypto.SchemeEd25519)
+	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rand := crypto.NewDeterministicRand(99)
+	const wallets = 40
+	ws := make([]*utxo.Wallet, wallets)
+	allocs := make(map[utxo.Address]types.Amount, wallets)
+	for i := range ws {
+		kp, err := scheme.GenerateKey(rand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = utxo.NewWallet(kp, scheme)
+		allocs[ws[i].Address()] = 1000
+	}
+	// A scratch ledger supplies the genesis outpoints for input selection.
+	scratch := NewLedger(scheme)
+	scratch.Genesis(allocs)
+	pay := func(from, to int, amount types.Amount) *utxo.Transaction {
+		t.Helper()
+		ins, err := scratch.Table().InputsFor(ws[from].Address(), amount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := ws[from].Pay(ins, []utxo.Output{{Account: ws[to].Address(), Value: amount}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+
+	var txs []*utxo.Transaction
+	// Independent transfers: the parallel set.
+	for i := 0; i < 30; i++ {
+		txs = append(txs, pay(i, (i+1)%30, types.Amount(10+i)))
+	}
+	// Intra-block chain: w30 pays w31, then w31 spends that very output.
+	head := pay(30, 31, 500)
+	txs = append(txs, head)
+	chained, err := ws[31].Pay(
+		[]utxo.Input{{Prev: utxo.Outpoint{TxID: head.ID(), Index: 0}, Value: 500}},
+		[]utxo.Output{{Account: ws[32].Address(), Value: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs = append(txs, chained)
+	// Double spend: w33 signs two conflicting transfers; first wins.
+	ins, err := scratch.Table().InputsFor(ws[33].Address(), 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1, err := ws[33].Pay(ins, []utxo.Output{{Account: ws[34].Address(), Value: 700}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ws[33].Pay(ins, []utxo.Output{{Account: ws[35].Address(), Value: 700}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs = append(txs, ds1, ds2)
+	// Forged signature: must be skipped on both paths.
+	forged := pay(36, 37, 100)
+	forged.Sig = append([]byte{}, forged.Sig...)
+	forged.Sig[0] ^= 0x55
+	forged.Invalidate()
+	txs = append(txs, forged)
+	// Duplicate entry of an earlier transaction.
+	txs = append(txs, txs[0])
+	// Overspend attempt (bad shape): input value below outputs.
+	over := pay(38, 39, 50)
+	over.Outputs[0].Value = 10_000
+	over.Invalidate()
+	txs = append(txs, over)
+
+	return scheme, allocs, NewBlock(1, txs)
+}
+
+// ledgerFingerprint summarizes everything the equivalence check compares.
+func ledgerFingerprint(l *Ledger) string {
+	s := fmt.Sprintf("height=%d deposit=%d utxos=%d total=%d\n",
+		l.Height(), l.Deposit(), l.Table().Size(), l.Table().TotalValue())
+	for _, e := range l.Table().Entries() {
+		s += fmt.Sprintf("%v=%v:%d\n", e.Op, e.Out.Account, e.Out.Value)
+	}
+	return s
+}
+
+// TestCommitBlockParallelMatchesSequential pins the conflict-detecting
+// parallel apply to the sequential reference: identical applied counts,
+// identical committed-transaction sets and bit-identical UTXO state, on
+// a block mixing independent transfers with every conflict shape.
+func TestCommitBlockParallelMatchesSequential(t *testing.T) {
+	scheme, allocs, block := buildCommitFixture(t)
+
+	seq := NewLedger(scheme)
+	seq.Genesis(allocs)
+	par := NewLedger(scheme)
+	par.SetParallel(pipeline.Shared())
+	par.Genesis(allocs)
+
+	wantApplied := seq.CommitBlock(block)
+	gotApplied := par.CommitBlock(block)
+	if wantApplied != gotApplied {
+		t.Fatalf("applied %d parallel vs %d sequential", gotApplied, wantApplied)
+	}
+	for _, tx := range block.Txs {
+		if seq.HasTx(tx.ID()) != par.HasTx(tx.ID()) {
+			t.Errorf("tx %v committed=%v sequentially, %v in parallel",
+				tx.ID(), seq.HasTx(tx.ID()), par.HasTx(tx.ID()))
+		}
+	}
+	if a, b := ledgerFingerprint(seq), ledgerFingerprint(par); a != b {
+		t.Errorf("ledger state diverged:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+
+	// Re-committing the same block must be a no-op on both paths.
+	if n := seq.CommitBlock(block); n != 0 {
+		t.Errorf("sequential recommit applied %d", n)
+	}
+	if n := par.CommitBlock(block); n != 0 {
+		t.Errorf("parallel recommit applied %d", n)
+	}
+	if a, b := ledgerFingerprint(seq), ledgerFingerprint(par); a != b {
+		t.Errorf("ledger state diverged after recommit:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+}
+
+// TestCommitBlockParallelBelowThreshold keeps small blocks on the
+// sequential path (no classification overhead) with identical results.
+func TestCommitBlockParallelBelowThreshold(t *testing.T) {
+	scheme, allocs, block := buildCommitFixture(t)
+	small := NewBlock(1, block.Txs[:4])
+
+	seq := NewLedger(scheme)
+	seq.Genesis(allocs)
+	par := NewLedger(scheme)
+	par.SetParallel(pipeline.Shared())
+	par.Genesis(allocs)
+
+	if a, b := seq.CommitBlock(small), par.CommitBlock(small); a != b {
+		t.Fatalf("applied %d sequential vs %d parallel", a, b)
+	}
+	if a, b := ledgerFingerprint(seq), ledgerFingerprint(par); a != b {
+		t.Errorf("ledger state diverged:\n--- sequential\n%s--- parallel\n%s", a, b)
+	}
+}

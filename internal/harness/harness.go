@@ -17,6 +17,7 @@ import (
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/store"
@@ -73,6 +74,12 @@ type Options struct {
 	// crash-restart a replica from its persisted chain. Empty keeps the
 	// cluster fully in-memory.
 	DataDir string
+	// Sequential forces the commit pipeline off: every signature and
+	// certificate verifies inline on the event loop, with no worker pool,
+	// no speculation and no shared verdicts. All virtual-time metrics and
+	// chain digests are bit-identical either way (the determinism tests
+	// pin this); the knob exists for those tests and for debugging.
+	Sequential bool
 }
 
 // Commit records one replica's commit of one instance.
@@ -109,6 +116,10 @@ type Cluster struct {
 	// Stores holds each replica's durable block store when Options.DataDir
 	// is set (nil entries otherwise).
 	Stores map[types.ReplicaID]*store.Store
+	// Certs is the cluster's shared pipeline verifier: one certificate
+	// verdict cache for all replicas, fanning signature checks out over
+	// the process-wide worker pool (nil when Options.Sequential).
+	Certs *pipeline.Verifier
 	// storeErr records the first persistence failure; Run-level callers
 	// surface it through StoreErr.
 	storeErr error
@@ -193,6 +204,9 @@ func New(opts Options) (*Cluster, error) {
 		slotOutcomes:  make(map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome),
 	}
 	c.Net = simnet.New(simnet.Config{Latency: model, Cost: opts.Cost, Seed: opts.Seed})
+	if !opts.Sequential {
+		c.Certs = pipeline.NewVerifier(pipeline.Shared())
+	}
 
 	all := append(append([]types.ReplicaID{}, members...), pool...)
 	for i, id := range all {
@@ -241,6 +255,7 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 		AttackFromInstance: c.Opts.AttackAfter,
 		WaitForWork:        c.Opts.WaitForWork,
 		Deceitful:          c.Coalition.IsDeceitful(id),
+		Certs:              c.Certs,
 		BatchSource: func(k uint64) asmr.Batch {
 			return c.batchFor(id, adv, k)
 		},

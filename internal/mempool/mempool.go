@@ -26,12 +26,22 @@ type Pool struct {
 	// the queue (the ledger also skips it, but re-proposing it would waste
 	// a consensus instance).
 	seen map[types.Digest]struct{}
+	// preverify, when set, observes every newly added transaction — the
+	// commit pipeline's handoff: transactions start signature
+	// verification on the worker pool the moment they enter the pool, so
+	// the batches Take hands to consensus are typically pre-verified by
+	// the time they commit.
+	preverify func(*utxo.Transaction)
 }
 
 // New creates an empty pool.
 func New() *Pool {
 	return &Pool{seen: make(map[types.Digest]struct{})}
 }
+
+// SetPreverify installs the pipeline handoff called once per distinct
+// transaction added (nil disables it — sequential mode).
+func (p *Pool) SetPreverify(fn func(*utxo.Transaction)) { p.preverify = fn }
 
 // Add enqueues tx unless its digest was ever added before. It reports
 // whether the transaction was added.
@@ -42,6 +52,9 @@ func (p *Pool) Add(tx *utxo.Transaction) bool {
 	}
 	p.seen[id] = struct{}{}
 	p.queue = append(p.queue, tx)
+	if p.preverify != nil {
+		p.preverify(tx)
+	}
 	return true
 }
 

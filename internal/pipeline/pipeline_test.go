@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/utxo"
+	"github.com/zeroloss/zlb/internal/wire"
+)
+
+func TestPoolMapCoversAllIndices(t *testing.T) {
+	pools := map[string]*Pool{
+		"shared":     Shared(),
+		"sequential": nil,
+		"two":        NewPool(2),
+	}
+	for name, p := range pools {
+		t.Run(name, func(t *testing.T) {
+			const n = 1000
+			var hits [n]int32
+			p.Map(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i := range hits {
+				if hits[i] != 1 {
+					t.Fatalf("index %d ran %d times, want 1", i, hits[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPoolMapNested guards against deadlock when a worker task itself
+// fans out: the caller always participates, so Map completes even when
+// every worker is busy.
+func TestPoolMapNested(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int32
+	p.Map(8, func(int) {
+		p.Map(8, func(int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested map ran %d tasks, want 64", got)
+	}
+}
+
+func TestTryDoDropsWhenSequential(t *testing.T) {
+	var p *Pool
+	if p.TryDo(func() { t.Fatal("nil pool ran a task") }) {
+		t.Fatal("nil pool accepted a task")
+	}
+}
+
+func clusterFixture(t *testing.T, n int) ([]*crypto.Signer, accountability.Statement, *accountability.Certificate) {
+	t.Helper()
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := accountability.Statement{
+		Context:  accountability.CtxMain,
+		Kind:     accountability.KindAux,
+		Instance: 1,
+		Slot:     3,
+		Round:    0,
+		Value:    accountability.BoolDigest(true),
+	}
+	sigs := make([]accountability.Signed, 0, n)
+	for _, s := range signers {
+		signed, err := accountability.SignStatement(s, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, signed)
+	}
+	cert, err := accountability.NewCertificate(stmt, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signers, stmt, cert
+}
+
+// TestVerifyCertificateMatchesInline pins the pipelined verdict (cached,
+// fanned out) to accountability.(*Certificate).Verify across valid,
+// forged and sub-quorum certificates, and across repeat calls that hit
+// the cache.
+func TestVerifyCertificateMatchesInline(t *testing.T) {
+	signers, stmt, cert := clusterFixture(t, 12)
+	v := NewVerifier(Shared())
+
+	check := func(name string, c *accountability.Certificate, n int, member func(types.ReplicaID) bool) {
+		t.Helper()
+		want := c.Verify(signers[0], n, member)
+		for i := 0; i < 2; i++ { // second round hits the verdict cache
+			got := v.VerifyCertificate(c, signers[0], n, member)
+			if (want == nil) != (got == nil) {
+				t.Errorf("%s (round %d): inline err=%v, pipelined err=%v", name, i, want, got)
+			}
+		}
+	}
+
+	check("valid", cert, 12, nil)
+	check("below quorum n", cert, 19, nil)
+	check("member filter excludes", cert, 12, func(id types.ReplicaID) bool { return id <= 2 })
+
+	forged := &accountability.Certificate{Stmt: stmt, Sigs: append([]accountability.Signed{}, cert.Sigs...)}
+	forged.Sigs[5].Sig = append([]byte{}, forged.Sigs[5].Sig...)
+	forged.Sigs[5].Sig[0] ^= 0xff
+	check("forged signature", forged, 12, nil)
+
+	dup := &accountability.Certificate{Stmt: stmt, Sigs: append([]accountability.Signed{}, cert.Sigs...)}
+	dup.Sigs[1] = dup.Sigs[0]
+	check("duplicate signer", dup, 12, nil)
+}
+
+func TestSpeculateSettlesVerdict(t *testing.T) {
+	signers, _, cert := clusterFixture(t, 10)
+	v := NewVerifier(Shared())
+	v.Speculate(cert, signers[0])
+	if err := v.VerifyCertificate(cert, signers[0], 10, nil); err != nil {
+		t.Fatalf("speculated certificate rejected: %v", err)
+	}
+}
+
+func TestVerifySignedBatch(t *testing.T) {
+	signers, _, cert := clusterFixture(t, 10)
+	v := NewVerifier(Shared())
+	if i := v.VerifySignedBatch(cert.Sigs, signers[0]); i != -1 {
+		t.Fatalf("valid batch flagged index %d", i)
+	}
+	bad := append([]accountability.Signed{}, cert.Sigs...)
+	bad[7].Sig = append([]byte{}, bad[7].Sig...)
+	bad[7].Sig[0] ^= 1
+	if i := v.VerifySignedBatch(bad, signers[0]); i != 7 {
+		t.Fatalf("forged index reported as %d, want 7", i)
+	}
+	var nilV *Verifier
+	if i := nilV.VerifySignedBatch(bad, signers[0]); i != 7 {
+		t.Fatalf("nil verifier reported %d, want 7", i)
+	}
+}
+
+func paymentTx(t *testing.T, seed int64) (*utxo.Transaction, crypto.Scheme) {
+	t.Helper()
+	reg := crypto.NewRegistry(crypto.SchemeEd25519)
+	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := scheme.GenerateKey(crypto.NewDeterministicRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := utxo.NewWallet(kp, scheme)
+	tx, err := w.Pay(
+		[]utxo.Input{{Prev: utxo.Outpoint{TxID: types.Hash([]byte("prev")), Index: 0}, Value: 100}},
+		[]utxo.Output{{Account: w.Address(), Value: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, scheme
+}
+
+// TestPreverifyPublishesVerdicts checks the speculative path end to end:
+// after Preverify the commit-time VerifySig returns instantly with the
+// same verdict the inline check computes, for valid and forged
+// transactions alike.
+func TestPreverifyPublishesVerdicts(t *testing.T) {
+	good, scheme := paymentTx(t, 11)
+	bad, _ := paymentTx(t, 12)
+	bad.Sig = append([]byte{}, bad.Sig...)
+	bad.Sig[0] ^= 0x80
+	bad.Invalidate()
+
+	tv := NewTxVerifier(Shared(), scheme)
+	tv.Preverify([]*utxo.Transaction{good, bad})
+	if err := good.VerifySig(scheme); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+	if err := bad.VerifySig(scheme); err == nil {
+		t.Fatal("forged tx accepted")
+	}
+}
+
+func TestSpeculateBatchWarmsCache(t *testing.T) {
+	tx, scheme := paymentTx(t, 13)
+	payload, err := wire.EncodeBatch([]*utxo.Transaction{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := wire.NewBatchCache(0)
+	tv := NewTxVerifier(Shared(), scheme)
+	tv.SpeculateBatch(payload, cache)
+	txs, err := cache.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("decoded %d txs, want 1", len(txs))
+	}
+	if err := txs[0].VerifySig(scheme); err != nil {
+		t.Fatalf("speculated batch tx rejected: %v", err)
+	}
+	// Garbage payloads must not poison anything.
+	tv.SpeculateBatch([]byte("not a batch"), cache)
+}

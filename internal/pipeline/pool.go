@@ -1,0 +1,134 @@
+// Package pipeline is the multi-core commit pipeline: a bounded worker
+// pool plus the verification stages that run on it. The discrete-event
+// simulator and the TCP node both process protocol events on a single
+// goroutine; everything CPU-heavy on the commit path — certificate
+// signature checks, transaction signature checks, batch decoding, UTXO
+// application — is a pure function of the message bytes and the PKI, so
+// it can be fanned out across cores (and speculatively started before
+// consensus decides) without changing a single protocol decision.
+//
+// Determinism contract: the pipeline never touches event ordering or the
+// virtual clock. Workers only compute verdicts that are pure functions of
+// their inputs, fan-in order is by task index, and every cached verdict
+// is exactly what the sequential code would have computed. Forcing
+// sequential mode (Options.Sequential, zlb.Config.SequentialCommit)
+// executes the same code inline and must produce bit-identical results —
+// the determinism tests pin this.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. A nil *Pool is valid and executes
+// everything inline on the caller (sequential mode).
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// sizes it to runtime.GOMAXPROCS(0). The workers live for the life of the
+// process — use Shared instead of creating pools per cluster.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, created on first use with
+// GOMAXPROCS workers. Every cluster shares it: worker goroutines are a
+// process resource, while verdict caches (Verifier, TxVerifier) stay
+// per-cluster.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// Workers returns the pool size (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// TryDo submits fn for asynchronous execution. It reports false — and
+// does not run fn — when the pool is nil (sequential mode) or saturated:
+// speculative work is dropped rather than blocking the event loop, and
+// the verdict is simply computed on demand later.
+func (p *Pool) TryDo(fn func()) bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Map runs fn(0..n-1) and returns when all calls completed. Work is
+// claimed from a shared atomic index, the caller participates (so Map
+// never deadlocks on a saturated pool), and fan-in is deterministic: Map
+// returns only after every index ran, so callers reduce results by index
+// regardless of which worker produced them. A nil pool runs inline in
+// index order.
+func (p *Pool) Map(n int, fn func(int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		submitted := false
+		select {
+		case p.tasks <- func() { run(); wg.Done() }:
+			submitted = true
+		default:
+		}
+		if !submitted {
+			wg.Done()
+			break // pool saturated; the caller drains the rest
+		}
+	}
+	run()
+	wg.Wait()
+}

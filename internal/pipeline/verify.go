@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"sync"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// certSigsParallelMin is the signature count below which a certificate is
+// checked inline: fanning out a handful of MAC checks costs more in
+// scheduling than it saves.
+const certSigsParallelMin = 8
+
+// maxCachedCerts bounds the verdict cache; past it the map is reset
+// wholesale. Waiters hold their entry pointer directly, so eviction only
+// loses memoization — it can never block anyone.
+const maxCachedCerts = 1 << 14
+
+// certVerdict is the cached outcome of a certificate's structure and
+// signature checks. done is closed when err is final.
+type certVerdict struct {
+	done chan struct{}
+	err  error
+}
+
+// Verifier checks certificates on the worker pool and memoizes verdicts
+// by certificate identity. One Verifier serves one deployment (a
+// simulated cluster or one TCP node process): in both, a certificate
+// multicast to n replicas arrives as n references to the same immutable
+// object, so the first check settles it for everyone — the n−1 repeat
+// verifications that used to dominate the commit path become map hits.
+//
+// Only the pure part of the verdict is cached (statement mismatches,
+// duplicate signers, signature validity). Quorum is evaluated per call:
+// it depends on the caller's committee size and membership filter, which
+// legitimately differ across epochs.
+type Verifier struct {
+	pool *Pool
+
+	mu       sync.Mutex
+	verdicts map[*accountability.Certificate]*certVerdict
+}
+
+// NewVerifier creates a Verifier running on pool (nil = inline/sequential,
+// with the verdict cache still active).
+func NewVerifier(pool *Pool) *Verifier {
+	return &Verifier{
+		pool:     pool,
+		verdicts: make(map[*accountability.Certificate]*certVerdict),
+	}
+}
+
+// Pool exposes the verifier's worker pool (nil in sequential mode) so
+// callers can fan out sibling work — e.g. the per-slot payload hashing of
+// a decision audit.
+func (v *Verifier) Pool() *Pool {
+	if v == nil {
+		return nil
+	}
+	return v.pool
+}
+
+// Speculate starts verifying cert in the background so that the verdict
+// is (probably) settled by the time a receiver needs it. The sender of a
+// DECIDE multicast calls this right before handing the message to the
+// network: the checks overlap with every event the loop processes until
+// the first delivery. Dropped silently when the pool is saturated or
+// sequential — the verdict is then computed on first demand.
+func (v *Verifier) Speculate(cert *accountability.Certificate, signer *crypto.Signer) {
+	if v == nil || cert == nil || v.pool == nil {
+		return
+	}
+	v.mu.Lock()
+	if _, seen := v.verdicts[cert]; seen {
+		v.mu.Unlock()
+		return
+	}
+	c := &certVerdict{done: make(chan struct{})}
+	if v.pool.TryDo(func() {
+		c.err = v.check(cert, signer)
+		close(c.done)
+	}) {
+		v.evictIfFull()
+		v.verdicts[cert] = c
+	}
+	v.mu.Unlock()
+}
+
+// VerifyCertificate checks structure, signer distinctness, signatures and
+// the quorum among members accepted by the membership test (nil accepts
+// all) for committee size n — the same contract as
+// accountability.(*Certificate).Verify, with the pure part of the verdict
+// cached across callers and the signature checks fanned out across the
+// pool.
+func (v *Verifier) VerifyCertificate(cert *accountability.Certificate, signer *crypto.Signer, n int, member func(types.ReplicaID) bool) error {
+	if v == nil {
+		return cert.Verify(signer, n, member)
+	}
+	v.mu.Lock()
+	c, ok := v.verdicts[cert]
+	if !ok {
+		c = &certVerdict{done: make(chan struct{})}
+		v.evictIfFull()
+		v.verdicts[cert] = c
+		v.mu.Unlock()
+		c.err = v.check(cert, signer)
+		close(c.done)
+	} else {
+		v.mu.Unlock()
+		<-c.done
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if cert.SignerCount(member) < types.Quorum(n) {
+		return accountability.ErrCertQuorum
+	}
+	return nil
+}
+
+// evictIfFull resets the verdict map when it grows past the bound. Caller
+// holds v.mu.
+func (v *Verifier) evictIfFull() {
+	if len(v.verdicts) >= maxCachedCerts {
+		v.verdicts = make(map[*accountability.Certificate]*certVerdict)
+	}
+}
+
+// check computes the pure verdict: statement mismatches, duplicate
+// signers, and every signature — fanned out across the pool for large
+// certificates, reduced in index order so the reported error is the one
+// sequential verification would return.
+func (v *Verifier) check(cert *accountability.Certificate, signer *crypto.Signer) error {
+	digest := cert.Stmt.Digest()
+	seen := types.NewReplicaSet()
+	for i := range cert.Sigs {
+		if cert.Sigs[i].Stmt != cert.Stmt {
+			return accountability.ErrCertMismatch
+		}
+		if !seen.Add(cert.Sigs[i].Signer) {
+			return accountability.ErrCertDuplicate
+		}
+	}
+	nsigs := len(cert.Sigs)
+	if v.pool == nil || nsigs < certSigsParallelMin {
+		for i := range cert.Sigs {
+			if !signer.Verify(cert.Sigs[i].Signer, digest, cert.Sigs[i].Sig) {
+				return accountability.ErrCertSignature
+			}
+		}
+		return nil
+	}
+	ok := make([]bool, nsigs)
+	v.pool.Map(nsigs, func(i int) {
+		ok[i] = signer.Verify(cert.Sigs[i].Signer, digest, cert.Sigs[i].Sig)
+	})
+	for i := range ok {
+		if !ok[i] {
+			return accountability.ErrCertSignature
+		}
+	}
+	return nil
+}
+
+// VerifySignedBatch checks a slice of signed statements, fanned out
+// across the pool, and returns the index of the first invalid one (-1
+// when all verify). Fan-in is by index, so the result is identical to a
+// sequential scan. Used for ready-certificate audits whose quorum rules
+// differ from Certificate.Verify's.
+func (v *Verifier) VerifySignedBatch(sigs []accountability.Signed, signer *crypto.Signer) int {
+	if v == nil || v.pool == nil || len(sigs) < certSigsParallelMin {
+		for i := range sigs {
+			if !sigs[i].Verify(signer) {
+				return i
+			}
+		}
+		return -1
+	}
+	ok := make([]bool, len(sigs))
+	v.pool.Map(len(sigs), func(i int) {
+		ok[i] = sigs[i].Verify(signer)
+	})
+	for i := range ok {
+		if !ok[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -20,6 +20,7 @@ import (
 	"github.com/zeroloss/zlb/internal/bincon"
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
@@ -176,6 +177,15 @@ type Config struct {
 	// Validate, if set, rejects invalid proposal payloads before they can
 	// be echoed (SBC-Validity).
 	Validate func(broadcaster types.ReplicaID, payload []byte) bool
+	// Certs, when set, routes certificate verification through the commit
+	// pipeline (shared verdicts, worker-pool signature fan-out).
+	Certs *pipeline.Verifier
+	// OnProposal observes every proposal payload the moment the reliable
+	// broadcast delivers it — while the binary consensus is still
+	// deciding. The application uses it to pre-validate the batch
+	// speculatively (decode + transaction signature checks off the event
+	// loop), so a decided batch commits without re-verification.
+	OnProposal func(payload []byte)
 	// CoordTimeout is passed through to the binary consensuses.
 	CoordTimeout func(round types.Round) time.Duration
 	OnDecide     func(*Decision)
@@ -313,6 +323,7 @@ func (s *Instance) binFor(slot types.ReplicaID) *bincon.Instance {
 			Accountable:  s.cfg.Accountable,
 			Equivocator:  eq,
 			CoordTimeout: s.cfg.CoordTimeout,
+			Certs:        s.cfg.Certs,
 			OnDecide:     func(d bincon.Decision) { s.onBinDecide(d) },
 		})
 		s.bins[slot] = b
@@ -336,6 +347,9 @@ func (s *Instance) onDeliver(d rbc.Delivery) {
 	}
 	if s.cfg.Validate != nil && !s.cfg.Validate(d.Broadcaster, d.Payload) {
 		return
+	}
+	if s.cfg.OnProposal != nil {
+		s.cfg.OnProposal(d.Payload)
 	}
 	s.delivered[d.Broadcaster] = d
 	// A delivered proposal votes 1 for its slot.
@@ -556,14 +570,14 @@ func (s *Instance) onProposalResp(_ types.ReplicaID, m *ProposalResp) {
 		if m.Cert.SignerCount(nil) < 2*types.MaxClassicFaults(len(s.members))+1 {
 			return
 		}
-		valid := true
 		for _, sig := range m.Cert.Sigs {
-			if sig.Stmt != m.Cert.Stmt || !sig.Verify(s.cfg.Signer) {
-				valid = false
-				break
+			if sig.Stmt != m.Cert.Stmt {
+				return
 			}
 		}
-		if !valid {
+		// Signature checks fan out across the pipeline's worker pool (a
+		// nil Certs verifier runs them inline, same verdict).
+		if s.cfg.Certs.VerifySignedBatch(m.Cert.Sigs, s.cfg.Signer) >= 0 {
 			return
 		}
 		if s.cfg.Log != nil {
@@ -572,6 +586,9 @@ func (s *Instance) onProposalResp(_ types.ReplicaID, m *ProposalResp) {
 	}
 	if s.cfg.Validate != nil && !s.cfg.Validate(m.Slot, m.Payload) {
 		return
+	}
+	if s.cfg.OnProposal != nil {
+		s.cfg.OnProposal(m.Payload)
 	}
 	s.delivered[m.Slot] = rbc.Delivery{
 		Broadcaster:  m.Slot,

@@ -10,7 +10,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/types"
@@ -78,7 +81,23 @@ type Transaction struct {
 	sigDigest types.Digest
 	haveID    bool
 	haveSD    bool
+	// sigv is the memoized signature verdict (sigUnknown/sigClaimed/
+	// sigValid/sigInvalid), accessed atomically: the commit pipeline's
+	// workers publish verdicts ahead of time while the owning replica may
+	// be reading. The claim state makes the verify-and-memoize step
+	// exclusive, so the non-atomic memo fields above are written by at
+	// most one goroutine. A transaction is only ever verified under one
+	// scheme (the deployment's); Invalidate resets the verdict.
+	sigv int32
 }
+
+// Signature verdict states for Transaction.sigv.
+const (
+	sigUnknown int32 = iota
+	sigClaimed
+	sigValid
+	sigInvalid
+)
 
 // Errors returned by transaction validation.
 var (
@@ -131,13 +150,15 @@ func (tx *Transaction) CanonicalSize() int {
 	return 8 + 4 + len(tx.Inputs)*(32+4+8) + 4 + len(tx.Outputs)*(32+8) + 4 + len(tx.Sender) + len(tx.Sig)
 }
 
-// Invalidate drops the memoized encoding and digests. It must be called
-// after mutating a transaction that has already been encoded or hashed
-// (test helpers forging variants; production code never mutates).
+// Invalidate drops the memoized encoding, digests and signature verdict.
+// It must be called after mutating a transaction that has already been
+// encoded, hashed or verified (test helpers forging variants; production
+// code never mutates).
 func (tx *Transaction) Invalidate() {
 	tx.enc = nil
 	tx.haveID = false
 	tx.haveSD = false
+	atomic.StoreInt32(&tx.sigv, sigUnknown)
 }
 
 // encode produces the canonical binary form, roughly 400 bytes for a
@@ -299,12 +320,35 @@ func (tx *Transaction) CheckShape() error {
 	return nil
 }
 
-// VerifySig checks the sender's signature with the given scheme.
+// VerifySig checks the sender's signature with the given scheme. The
+// verdict is memoized atomically, so the commit pipeline can verify a
+// transaction speculatively on a worker while consensus is still deciding
+// its batch — and the n replicas of a simulated cluster, which share the
+// transaction object, pay for the signature check once. The claim state
+// serializes the verify-and-memoize step: concurrent callers briefly spin
+// (one signature verification, microseconds) instead of duplicating it.
+// A transaction must only ever be verified under one scheme; call
+// Invalidate after mutating an already-verified transaction.
 func (tx *Transaction) VerifySig(scheme crypto.Scheme) error {
-	if !scheme.Verify(tx.Sender, tx.SigDigest(), tx.Sig) {
-		return ErrBadSignature
+	for {
+		switch atomic.LoadInt32(&tx.sigv) {
+		case sigValid:
+			return nil
+		case sigInvalid:
+			return ErrBadSignature
+		case sigUnknown:
+			if atomic.CompareAndSwapInt32(&tx.sigv, sigUnknown, sigClaimed) {
+				if scheme.Verify(tx.Sender, tx.SigDigest(), tx.Sig) {
+					atomic.StoreInt32(&tx.sigv, sigValid)
+					return nil
+				}
+				atomic.StoreInt32(&tx.sigv, sigInvalid)
+				return ErrBadSignature
+			}
+		default: // claimed by another goroutine; verdict imminent
+			runtime.Gosched()
+		}
 	}
-	return nil
 }
 
 // Wallet signs transactions for one key pair.
@@ -355,81 +399,158 @@ func (w *Wallet) Pay(inputs []Input, to []Output) (*Transaction, error) {
 	return tx, nil
 }
 
-// Table is the in-memory UTXO table (paper §4.2.2). It is not safe for
-// concurrent use; the owning replica serializes access.
-type Table struct {
-	utxos  map[Outpoint]Output
-	owner  map[Outpoint]Address
+// tableStripes is the number of lock stripes the table's state is
+// sharded across. A power of two so the stripe index is a mask.
+const tableStripes = 64
+
+// opStripe holds the outpoint-keyed state of one stripe.
+type opStripe struct {
+	mu    sync.RWMutex
+	utxos map[Outpoint]Output
+	owner map[Outpoint]Address
+}
+
+// addrStripe holds the account-keyed state of one stripe.
+type addrStripe struct {
+	mu     sync.RWMutex
 	byAddr map[Address]map[Outpoint]struct{}
 	// bal holds each address's running balance so Balance is O(1) instead
 	// of iterating the outpoint set.
 	bal map[Address]types.Amount
 }
 
+// Table is the in-memory UTXO table (paper §4.2.2), lock-striped across
+// tableStripes shards: unspent outputs shard by outpoint, account indexes
+// and balances shard by address. Every individual operation (Credit,
+// Consume, Spendable, Balance, ...) is atomic and safe for concurrent
+// use; compound operations like Apply are atomic only per map access.
+// That is exactly what the commit pipeline (internal/pipeline, internal/
+// bm) needs: it only applies transactions concurrently when its conflict
+// analysis proved them disjoint on inputs and independent of every other
+// transaction in the block, so per-access atomicity composes to a result
+// bit-identical to sequential application. Balance updates from
+// concurrent credits to one account are commutative additions under the
+// account's stripe lock.
+type Table struct {
+	ops   [tableStripes]opStripe
+	addrs [tableStripes]addrStripe
+}
+
 // NewTable creates an empty table.
 func NewTable() *Table {
-	return &Table{
-		utxos:  make(map[Outpoint]Output),
-		owner:  make(map[Outpoint]Address),
-		byAddr: make(map[Address]map[Outpoint]struct{}),
-		bal:    make(map[Address]types.Amount),
+	t := &Table{}
+	for i := range t.ops {
+		t.ops[i].utxos = make(map[Outpoint]Output)
+		t.ops[i].owner = make(map[Outpoint]Address)
 	}
+	for i := range t.addrs {
+		t.addrs[i].byAddr = make(map[Address]map[Outpoint]struct{})
+		t.addrs[i].bal = make(map[Address]types.Amount)
+	}
+	return t
+}
+
+// opStripeOf maps an outpoint to its stripe. TxIDs are hashes, so the
+// first byte is uniform; XOR-ing the index spreads the outputs of one
+// transaction (and the genesis block) across stripes.
+func (t *Table) opStripeOf(op Outpoint) *opStripe {
+	return &t.ops[(uint32(op.TxID[0])^op.Index)&(tableStripes-1)]
+}
+
+// addrStripeOf maps an account to its stripe (addresses are hashes).
+func (t *Table) addrStripeOf(addr Address) *addrStripe {
+	return &t.addrs[addr[0]&(tableStripes-1)]
 }
 
 // Credit inserts an unspent output (genesis allocation or tx product).
 func (t *Table) Credit(op Outpoint, out Output) {
-	if _, dup := t.utxos[op]; dup {
+	s := t.opStripeOf(op)
+	s.mu.Lock()
+	if _, dup := s.utxos[op]; dup {
+		s.mu.Unlock()
 		return
 	}
-	t.utxos[op] = out
-	t.owner[op] = out.Account
-	t.bal[out.Account] += out.Value
-	set, ok := t.byAddr[out.Account]
+	s.utxos[op] = out
+	s.owner[op] = out.Account
+	s.mu.Unlock()
+
+	a := t.addrStripeOf(out.Account)
+	a.mu.Lock()
+	a.bal[out.Account] += out.Value
+	set, ok := a.byAddr[out.Account]
 	if !ok {
 		set = make(map[Outpoint]struct{})
-		t.byAddr[out.Account] = set
+		a.byAddr[out.Account] = set
 	}
 	set[op] = struct{}{}
+	a.mu.Unlock()
 }
 
 // Spendable reports whether the outpoint is unspent, and its output.
 func (t *Table) Spendable(op Outpoint) (Output, bool) {
-	out, ok := t.utxos[op]
+	s := t.opStripeOf(op)
+	s.mu.RLock()
+	out, ok := s.utxos[op]
+	s.mu.RUnlock()
 	return out, ok
 }
 
 // Consume removes an unspent output; it reports whether it was present.
 func (t *Table) Consume(op Outpoint) bool {
-	out, ok := t.utxos[op]
+	s := t.opStripeOf(op)
+	s.mu.Lock()
+	out, ok := s.utxos[op]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
-	delete(t.utxos, op)
-	delete(t.owner, op)
-	if next := t.bal[out.Account] - out.Value; next == 0 {
-		delete(t.bal, out.Account)
+	delete(s.utxos, op)
+	delete(s.owner, op)
+	s.mu.Unlock()
+
+	a := t.addrStripeOf(out.Account)
+	a.mu.Lock()
+	if next := a.bal[out.Account] - out.Value; next == 0 {
+		delete(a.bal, out.Account)
 	} else {
-		t.bal[out.Account] = next
+		a.bal[out.Account] = next
 	}
-	if set, ok := t.byAddr[out.Account]; ok {
+	if set, ok := a.byAddr[out.Account]; ok {
 		delete(set, op)
 		if len(set) == 0 {
-			delete(t.byAddr, out.Account)
+			delete(a.byAddr, out.Account)
 		}
 	}
+	a.mu.Unlock()
 	return true
 }
 
 // Balance returns the account's running balance in O(1).
-func (t *Table) Balance(addr Address) types.Amount { return t.bal[addr] }
+func (t *Table) Balance(addr Address) types.Amount {
+	a := t.addrStripeOf(addr)
+	a.mu.RLock()
+	bal := a.bal[addr]
+	a.mu.RUnlock()
+	return bal
+}
+
+// outpointsOf copies the account's unspent outpoint set under its stripe
+// lock.
+func (t *Table) outpointsOf(addr Address) []Outpoint {
+	a := t.addrStripeOf(addr)
+	a.mu.RLock()
+	ops := make([]Outpoint, 0, len(a.byAddr[addr]))
+	for op := range a.byAddr[addr] {
+		ops = append(ops, op)
+	}
+	a.mu.RUnlock()
+	return ops
+}
 
 // Outpoints returns the account's unspent outpoints sorted by (TxID,
 // Index) — deterministic input selection for wallets.
 func (t *Table) Outpoints(addr Address) []Outpoint {
-	ops := make([]Outpoint, 0, len(t.byAddr[addr]))
-	for op := range t.byAddr[addr] {
-		ops = append(ops, op)
-	}
+	ops := t.outpointsOf(addr)
 	sort.Slice(ops, func(i, j int) bool {
 		if ops[i].TxID != ops[j].TxID {
 			return ops[i].TxID.Less(ops[j].TxID)
@@ -446,13 +567,15 @@ func (t *Table) Outpoints(addr Address) []Outpoint {
 // single value-ordered sort — (Value, TxID, Index) ascending, which ties
 // break exactly like the previous sort-then-stable-sort pair did.
 func (t *Table) InputsFor(addr Address, amount types.Amount) ([]Input, error) {
-	if have := t.bal[addr]; have < amount {
+	if have := t.Balance(addr); have < amount {
 		return nil, fmt.Errorf("%w: account %v has %d, needs %d", ErrMissingUTXO, addr, have, amount)
 	}
-	set := t.byAddr[addr]
-	picked := make([]Input, 0, len(set))
-	for op := range set {
-		picked = append(picked, Input{Prev: op, Value: t.utxos[op].Value})
+	ops := t.outpointsOf(addr)
+	picked := make([]Input, 0, len(ops))
+	for _, op := range ops {
+		if out, ok := t.Spendable(op); ok {
+			picked = append(picked, Input{Prev: op, Value: out.Value})
+		}
 	}
 	sort.Slice(picked, func(i, j int) bool {
 		if picked[i].Value != picked[j].Value {
@@ -474,7 +597,16 @@ func (t *Table) InputsFor(addr Address, amount types.Amount) ([]Input, error) {
 }
 
 // Size returns the number of unspent outputs.
-func (t *Table) Size() int { return len(t.utxos) }
+func (t *Table) Size() int {
+	total := 0
+	for i := range t.ops {
+		s := &t.ops[i]
+		s.mu.RLock()
+		total += len(s.utxos)
+		s.mu.RUnlock()
+	}
+	return total
+}
 
 // Validate checks a transaction against the table without mutating it:
 // shape, signature (if scheme non-nil), spendability, ownership and value
@@ -490,7 +622,7 @@ func (t *Table) Validate(tx *Transaction, scheme crypto.Scheme) error {
 	}
 	sender := AddressOf(tx.Sender)
 	for _, in := range tx.Inputs {
-		out, ok := t.utxos[in.Prev]
+		out, ok := t.Spendable(in.Prev)
 		if !ok {
 			return fmt.Errorf("%w: %v", ErrMissingUTXO, in.Prev)
 		}
@@ -530,9 +662,14 @@ type Entry struct {
 // deterministic enumeration ledger checkpoints (internal/store) are
 // built from.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, len(t.utxos))
-	for op, o := range t.utxos {
-		out = append(out, Entry{Op: op, Out: o})
+	out := make([]Entry, 0, t.Size())
+	for i := range t.ops {
+		s := &t.ops[i]
+		s.mu.RLock()
+		for op, o := range s.utxos {
+			out = append(out, Entry{Op: op, Out: o})
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Op.TxID != out[j].Op.TxID {
@@ -546,8 +683,13 @@ func (t *Table) Entries() []Entry {
 // TotalValue sums every unspent output: conservation checks in tests.
 func (t *Table) TotalValue() types.Amount {
 	var sum types.Amount
-	for _, out := range t.utxos {
-		sum += out.Value
+	for i := range t.ops {
+		s := &t.ops[i]
+		s.mu.RLock()
+		for _, out := range s.utxos {
+			sum += out.Value
+		}
+		s.mu.RUnlock()
 	}
 	return sum
 }
@@ -555,8 +697,13 @@ func (t *Table) TotalValue() types.Amount {
 // Clone deep-copies the table (branch simulation in tests and merges).
 func (t *Table) Clone() *Table {
 	c := NewTable()
-	for op, out := range t.utxos {
-		c.Credit(op, out)
+	for i := range t.ops {
+		s := &t.ops[i]
+		s.mu.RLock()
+		for op, out := range s.utxos {
+			c.Credit(op, out)
+		}
+		s.mu.RUnlock()
 	}
 	return c
 }

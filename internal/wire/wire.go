@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/types"
@@ -101,14 +102,30 @@ func DecodeBatch(payload []byte) ([]*utxo.Transaction, error) {
 // deployment every replica receives the identical committed payload; the
 // cache decodes it once and shares the transaction pointers, which also
 // shares their memoized IDs. Entries are evicted FIFO once cap is
-// exceeded. Not safe for concurrent use.
+// exceeded. Safe for concurrent use, singleflight-style: the commit
+// pipeline decodes proposals speculatively on worker goroutines while
+// the event loop reads. The lock covers only the map bookkeeping; the
+// decode itself runs outside it, so a cache hit never waits behind an
+// in-flight decode of a *different* payload, while concurrent requests
+// for the *same* payload share one decode.
 type BatchCache struct {
+	mu      sync.Mutex
 	cap     int
-	entries map[types.Digest][]*utxo.Transaction
+	entries map[types.Digest]*batchEntry
 	order   []types.Digest
-	// Hits and Misses instrument the cache for benchmarks.
+	// Hits and Misses instrument the cache for benchmarks; read them only
+	// when no concurrent decodes are in flight.
 	Hits   int
 	Misses int
+}
+
+// batchEntry is one in-flight or settled decode; done closes when txs/err
+// are final. Waiters hold the entry pointer directly, so eviction can
+// never strand them.
+type batchEntry struct {
+	done chan struct{}
+	txs  []*utxo.Transaction
+	err  error
 }
 
 // NewBatchCache creates a cache holding up to cap decoded batches
@@ -117,30 +134,52 @@ func NewBatchCache(cap int) *BatchCache {
 	if cap <= 0 {
 		cap = 64
 	}
-	return &BatchCache{cap: cap, entries: make(map[types.Digest][]*utxo.Transaction, cap)}
+	return &BatchCache{cap: cap, entries: make(map[types.Digest]*batchEntry, cap)}
 }
 
 // Decode returns the decoded transactions of payload, from cache when the
 // same payload bytes were decoded before.
 func (c *BatchCache) Decode(payload []byte) ([]*utxo.Transaction, error) {
 	key := types.Hash(payload)
-	if txs, ok := c.entries[key]; ok {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
 		c.Hits++
-		return txs, nil
+		c.mu.Unlock()
+		<-e.done
+		return e.txs, e.err
 	}
-	txs, err := DecodeBatch(payload)
-	if err != nil {
-		return nil, err
-	}
-	c.Misses++
+	e := &batchEntry{done: make(chan struct{})}
 	if len(c.order) >= c.cap {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, oldest)
 	}
-	c.entries[key] = txs
+	c.entries[key] = e
 	c.order = append(c.order, key)
-	return txs, nil
+	c.Misses++
+	c.mu.Unlock()
+
+	e.txs, e.err = DecodeBatch(payload)
+	close(e.done)
+	if e.err != nil {
+		// Do not cache failures: drop the entry so the counters and
+		// contents match the sequential cache's behaviour (a corrupt
+		// payload is re-attempted, deterministically failing again).
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			for i, k := range c.order {
+				if k == key {
+					c.order = append(c.order[:i], c.order[i+1:]...)
+					break
+				}
+			}
+			c.Misses--
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.txs, nil
 }
 
 // --- Membership payloads ---

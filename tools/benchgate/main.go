@@ -1,0 +1,168 @@
+// Command benchgate is the CI perf-regression gate: it compares a fresh
+// BENCH_fig3.json (produced by `zlb-bench -experiment fig3 -json <dir>`)
+// against the committed baseline in testdata/bench_baseline.json and
+// fails when any (system, committee size) point lost more than -max-drop
+// of its decision throughput. Throughput here is a virtual-time metric —
+// deterministic for a fixed seed and independent of the CI runner's
+// speed — so the gate has no flakiness budget: any drop is a real
+// protocol or commit-path regression.
+//
+//	go run ./tools/benchgate -current out/BENCH_fig3.json \
+//	    -baseline testdata/bench_baseline.json
+//
+// A delta table is printed to stdout and, when -summary is set (CI passes
+// $GITHUB_STEP_SUMMARY), appended there as Markdown.
+//
+// Refreshing the baseline after an intended change:
+//
+//	go run ./cmd/zlb-bench -experiment fig3 -seed 42 -json out
+//	go run ./tools/benchgate -current out/BENCH_fig3.json \
+//	    -baseline testdata/bench_baseline.json -update
+//
+// and commit the updated testdata/bench_baseline.json (the PR diff then
+// shows the intended throughput change for review).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/zeroloss/zlb/internal/bench"
+)
+
+func main() {
+	current := flag.String("current", "", "freshly generated BENCH_fig3.json")
+	baseline := flag.String("baseline", "testdata/bench_baseline.json", "committed baseline report")
+	maxDrop := flag.Float64("max-drop", 0.20, "maximum tolerated fractional throughput drop per point")
+	summary := flag.String("summary", "", "file to append the Markdown delta table to (e.g. $GITHUB_STEP_SUMMARY)")
+	update := flag.Bool("update", false, "overwrite the baseline with the current report instead of gating")
+	flag.Parse()
+
+	if *current == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *update {
+		if err := copyFile(*current, *baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline refreshed: %s -> %s\n", *current, *baseline)
+		return
+	}
+	cur, err := readPoints(*current)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readPoints(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	table, failures := compare(base, cur, *maxDrop)
+	fmt.Print(table)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "## Perf gate (fig3, max drop %.0f%%)\n\n%s\n", *maxDrop*100, table)
+		f.Close()
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d point(s) regressed beyond %.0f%%:\n", len(failures), *maxDrop*100)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all points within budget")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}
+
+// pointKey identifies one Fig3 point across reports.
+type pointKey struct {
+	System bench.System
+	N      int
+}
+
+func readPoints(path string) (map[pointKey]bench.Fig3Point, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report struct {
+		Experiment string            `json:"experiment"`
+		Data       []bench.Fig3Point `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if report.Experiment != "fig3" {
+		return nil, fmt.Errorf("%s: experiment %q, want fig3", path, report.Experiment)
+	}
+	out := make(map[pointKey]bench.Fig3Point, len(report.Data))
+	for _, p := range report.Data {
+		out[pointKey{System: p.System, N: p.N}] = p
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no data points", path)
+	}
+	return out, nil
+}
+
+// compare renders the Markdown delta table and collects gate failures.
+// Every baseline point must exist in the current report: a silently
+// dropped point would otherwise pass the gate.
+func compare(base, cur map[pointKey]bench.Fig3Point, maxDrop float64) (string, []string) {
+	keys := make([]pointKey, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].System != keys[j].System {
+			return keys[i].System < keys[j].System
+		}
+		return keys[i].N < keys[j].N
+	})
+	var b strings.Builder
+	var failures []string
+	b.WriteString("| system | n | baseline tx/s | current tx/s | delta | gate |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, k := range keys {
+		bp := base[k]
+		cp, ok := cur[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s n=%d: missing from current report", k.System, k.N))
+			fmt.Fprintf(&b, "| %s | %d | %.0f | missing | — | FAIL |\n", k.System, k.N, bp.TxPerSec)
+			continue
+		}
+		delta := 0.0
+		if bp.TxPerSec > 0 {
+			delta = (cp.TxPerSec - bp.TxPerSec) / bp.TxPerSec
+		}
+		verdict := "ok"
+		if delta < -maxDrop {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s n=%d: %.0f -> %.0f tx/s (%.1f%%)",
+				k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100))
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s |\n",
+			k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100, verdict)
+	}
+	return b.String(), failures
+}
+
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}

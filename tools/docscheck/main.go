@@ -29,6 +29,7 @@ var readmeRequired = []string{
 	"internal/simnet",
 	"internal/scenario",
 	"internal/store",
+	"internal/pipeline",
 }
 
 func main() {

@@ -50,6 +50,7 @@ import (
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/payment"
+	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/store"
 	"github.com/zeroloss/zlb/internal/types"
@@ -69,6 +70,8 @@ type (
 	Wallet = utxo.Wallet
 	// ReplicaID identifies a consensus replica.
 	ReplicaID = types.ReplicaID
+	// Digest is a 32-byte content hash (transaction IDs, block digests).
+	Digest = types.Digest
 	// PoF is an undeniable proof of fraud against a deceitful replica.
 	PoF = accountability.PoF
 )
@@ -112,6 +115,16 @@ type Config struct {
 	MaxBlocks uint64
 	// Seed drives all randomness (default 1).
 	Seed int64
+
+	// SequentialCommit forces the multi-core commit pipeline
+	// (internal/pipeline) off: transaction signatures, certificates and
+	// block application all run inline on the event loop, with no worker
+	// pool, no speculative pre-verification and no shared verdicts. The
+	// default (false) fans that work out across runtime.GOMAXPROCS
+	// workers. Both modes produce bit-identical chains, balances and
+	// virtual-time metrics — the determinism tests pin this; the knob
+	// exists for those tests and for debugging.
+	SequentialCommit bool
 
 	// DataDir, when set, makes every replica persist its chain to a
 	// durable block store (internal/store) under <DataDir>/r<id>:
@@ -165,6 +178,11 @@ type Cluster struct {
 	// commit the identical payload, so it is decoded once per cluster
 	// instead of once per replica.
 	batches *wire.BatchCache
+	// txv is the commit pipeline's transaction verifier: signature checks
+	// start on the worker pool when a transaction is submitted (and again
+	// when a proposal is delivered), so decided batches commit without
+	// re-verification. Nil under Config.SequentialCommit.
+	txv *pipeline.TxVerifier
 }
 
 // node is the per-replica application state: mempool + ledger, plus the
@@ -261,6 +279,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		genesis: genesis,
 		stake:   stake,
 	}
+	if !cfg.SequentialCommit {
+		c.txv = pipeline.NewTxVerifier(pipeline.Shared(), scheme)
+	}
 
 	var attack adversary.Attack
 	switch cfg.Attack {
@@ -290,6 +311,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		PartitionDelay: partDelay,
 		Seed:           cfg.Seed,
 		WaitForWork:    true,
+		Sequential:     cfg.SequentialCommit,
 		CoordTimeout: func(r types.Round) time.Duration {
 			return 150 * time.Millisecond * time.Duration(r+1)
 		},
@@ -318,6 +340,7 @@ func (c *Cluster) newNode(id ReplicaID) (*node, error) {
 		mempool: mempool.New(),
 		stakes:  make(map[ReplicaID]Amount),
 	}
+	n.ledger.SetParallel(c.txv.Pool())
 	if c.cfg.DataDir != "" {
 		st, err := store.Open(replicaDataDir(c.cfg.DataDir, id),
 			store.Options{CheckpointEvery: c.cfg.CheckpointEvery})
@@ -383,6 +406,7 @@ func (c *Cluster) NewWallet(funds Amount) (*Wallet, error) {
 	c.genesis[w.Address()] += funds
 	for _, n := range c.nodes {
 		n.ledger = bm.NewLedger(c.scheme)
+		n.ledger.SetParallel(c.txv.Pool())
 		n.ledger.Genesis(c.genesis)
 		// Re-apply the staked deposits: rebuilding the ledger must not
 		// empty the slash pool, or merges after a fork would silently
@@ -408,8 +432,11 @@ func (c *Cluster) Pay(w *Wallet, to Address, amount Amount) (*Transaction, error
 // Submit places a transaction in every replica's mempool (clients
 // broadcast requests to all replicas, §4.2) and wakes replicas that were
 // waiting for work. The mempools share the transaction pointer, so its
-// digest is computed once for the whole cluster.
+// digest is computed once for the whole cluster — and its signature
+// check starts on the commit pipeline here, typically settling before
+// consensus decides the batch that carries it.
 func (c *Cluster) Submit(tx *Transaction) {
+	c.txv.Preverify([]*utxo.Transaction{tx})
 	for _, n := range c.nodes {
 		n.mempool.Add(tx)
 	}
@@ -477,6 +504,15 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 				c.inner.Coalition.BindRBCastPayload(n.id, adv, payload)
 			}
 			return asmr.Batch{Payload: payload, ClaimedSigs: len(txs)}
+		},
+		OnProposal: func(k uint64, payload []byte) {
+			// Speculative pre-validation (pipeline stage ②): decode the
+			// delivered proposal and verify its transaction signatures on
+			// the worker pool while the binary consensus is still deciding.
+			// Verdicts land in the shared batch cache and the transactions'
+			// memoized verdict slots, so the decided batch commits without
+			// re-verification.
+			c.txv.SpeculateBatch(payload, c.batches)
 		},
 		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
 			block := c.blockFrom(k, d)
