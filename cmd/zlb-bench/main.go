@@ -33,18 +33,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	jsonDir := flag.String("json", "", "also emit machine-readable BENCH_<experiment>.json files into this directory")
 	sequential := flag.Bool("sequential", false, "fig3 only: force the commit pipeline off (A/B wall-clock comparisons)")
+	sequentialSim := flag.Bool("sequential-sim", false, "fig3 only: force the simulator's sequential event loop instead of parallel windows (A/B wall-clock comparisons; virtual-time metrics are bit-identical)")
 	nsFlag := flag.String("ns", "", "fig3 only: comma-separated committee sizes overriding the default sweep")
 	flag.Parse()
 
 	start := time.Now()
-	if err := run(*experiment, *full, *seed, *jsonDir, *sequential, *nsFlag); err != nil {
+	if err := run(*experiment, *full, *seed, *jsonDir, *sequential, *sequentialSim, *nsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "zlb-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "\n[%v elapsed]\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(experiment string, full bool, seed int64, jsonDir string, sequential bool, nsFlag string) error {
+func run(experiment string, full bool, seed int64, jsonDir string, sequential, sequentialSim bool, nsFlag string) error {
 	// emit mirrors an experiment's points into BENCH_<name>.json when
 	// -json is set, so the perf trajectory is tracked across PRs.
 	emit := func(name string, data any) error {
@@ -77,7 +78,7 @@ func run(experiment string, full bool, seed int64, jsonDir string, sequential bo
 				ns = append(ns, v)
 			}
 		}
-		points, err := bench.RunFig3(bench.Fig3Config{Ns: ns, Instances: 3, Seed: seed, Sequential: sequential})
+		points, err := bench.RunFig3(bench.Fig3Config{Ns: ns, Instances: 3, Seed: seed, Sequential: sequential, SequentialSim: sequentialSim})
 		if err != nil {
 			return err
 		}

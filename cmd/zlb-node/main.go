@@ -42,6 +42,7 @@ import (
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/pipeline"
+	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/store"
@@ -246,6 +247,9 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		Recover:          true,
 		WaitForWork:      true,
 		Certs:            rn.certs,
+		// One canonical copy per proposal digest: a node stores a pulled
+		// PayloadResp and the original Init as the same bytes.
+		Intern: rbc.NewIntern(),
 		OnProposal: func(k uint64, payload []byte) {
 			// Pre-validate the delivered batch while consensus decides.
 			rn.txv.SpeculateBatch(payload, rn.batches)

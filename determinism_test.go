@@ -2,13 +2,17 @@ package zlb_test
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"github.com/zeroloss/zlb"
+	"github.com/zeroloss/zlb/internal/bench"
+	"github.com/zeroloss/zlb/internal/harness"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/scenario"
 )
@@ -257,6 +261,124 @@ func TestScenarioGoldenSequentialMode(t *testing.T) {
 	if res.Format() != string(want) {
 		t.Errorf("sequential-mode metrics diverged from golden:\n--- got\n%s--- want\n%s", res.Format(), want)
 	}
+}
+
+// widenSharedPool forces a multi-worker shared pool before anything
+// sizes it, so the parallel-simnet subtests below exercise real
+// concurrency even on a single-core host (see the comment in
+// TestPipelineModesBitIdentical).
+func widenSharedPool() {
+	prev := runtime.GOMAXPROCS(4)
+	pipeline.Shared()
+	runtime.GOMAXPROCS(prev)
+}
+
+// fig3Fingerprint runs the fig3 ZLB point at n=30 on a directly built
+// harness cluster and returns everything the parallel simulator must
+// leave untouched: committed instances, throughput, disagreements, the
+// final virtual clock, the simulator event/byte counters and the full
+// chain digests of every honest replica.
+func fig3Fingerprint(t *testing.T, seqSim bool) string {
+	t.Helper()
+	opts := bench.ZLBFig3Options(30, 2, 42)
+	opts.SequentialSim = seqSim
+	c, err := harness.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.RunUntilQuiet(30 * time.Minute)
+	if c.Exhausted() {
+		t.Fatal("fig3 run exhausted its event budget")
+	}
+	out := fmt.Sprintf("committed=%d tput=%.6f disagreements=%d clock=%d delivered=%d dropped=%d bytes=%d\n",
+		c.CommittedInstances(), c.Throughput(), c.Disagreements(), c.Net.Now(),
+		c.Net.Delivered, c.Net.Dropped, c.Net.BytesSent)
+	for _, id := range c.HonestMembers() {
+		digests := c.Replicas[id].ChainDigests()
+		ks := make([]uint64, 0, len(digests))
+		for k := range digests {
+			ks = append(ks, k)
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+		out += fmt.Sprintf("r%d:", id)
+		for _, k := range ks {
+			out += fmt.Sprintf(" %d=%s", k, digests[k].Hex())
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestParallelSimnetBitIdentical is the parallel simulator's determinism
+// contract at the system level: every registered scenario campaign plus
+// the fig3 ZLB point at n=30 must produce bit-identical goldens, final
+// clocks, event counts and chain digests under the sequential loop
+// (SequentialSim) and under conservative parallel windows at
+// GOMAXPROCS=1 and GOMAXPROCS=4. The nightly workflow re-runs it under
+// the race detector.
+func TestParallelSimnetBitIdentical(t *testing.T) {
+	widenSharedPool()
+	modes := []struct {
+		name     string
+		seqSim   bool
+		maxprocs int
+	}{
+		{"sequential-sim", true, 0},
+		{"parallel/GOMAXPROCS=1", false, 1},
+		{"parallel/GOMAXPROCS=4", false, 4},
+	}
+	runMode := func(t *testing.T, maxprocs int, fn func() string) string {
+		if maxprocs > 0 {
+			prev := runtime.GOMAXPROCS(maxprocs)
+			defer runtime.GOMAXPROCS(prev)
+		}
+		_ = t
+		return fn()
+	}
+	for _, name := range scenario.Names() {
+		name := name
+		t.Run("scenario/"+name, func(t *testing.T) {
+			var ref string
+			for i, m := range modes {
+				got := runMode(t, m.maxprocs, func() string {
+					s, err := scenario.Build(name, 9, 42)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.Opts.SequentialSim = m.seqSim
+					res, err := scenario.Run(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res.Format()
+				})
+				if i == 0 {
+					ref = got
+					continue
+				}
+				if got != ref {
+					t.Errorf("%s diverged from %s:\n--- got\n%s--- want\n%s", m.name, modes[0].name, got, ref)
+				}
+			}
+		})
+	}
+	t.Run("fig3/ZLB/n=30", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("skipping fig3 point in -short mode")
+		}
+		var ref string
+		for i, m := range modes {
+			got := runMode(t, m.maxprocs, func() string { return fig3Fingerprint(t, m.seqSim) })
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Errorf("%s diverged from %s:\n--- got\n%s--- want\n%s", m.name, modes[0].name, got, ref)
+			}
+		}
+	})
 }
 
 // TestNewWalletKeepsDeposits regression-tests the Cluster.NewWallet fix:

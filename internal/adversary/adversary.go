@@ -18,6 +18,7 @@ package adversary
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/zeroloss/zlb/internal/bincon"
 	"github.com/zeroloss/zlb/internal/rbc"
@@ -85,11 +86,19 @@ type Coalition struct {
 
 	deceitfulSet map[types.ReplicaID]bool
 	partOf       map[types.ReplicaID]int
+	// mu guards digestPartition: with the parallel simulator, a deceitful
+	// proposer registers variants (inside its BatchSource callback) while
+	// deceitful echoers of other slots consult them concurrently. The
+	// values read are still deterministic — an echoer can only look up
+	// digests it has already received in messages, which were registered
+	// at least one lookahead window earlier — the lock only protects the
+	// map internals.
+	mu sync.RWMutex
 	// digestPartition maps an rbcast proposal-variant digest to its target
 	// partition: the attackers' out-of-band coordination.
 	digestPartition map[types.Digest]int
 	// targetPart maps a deceitful proposer to the partition that should
-	// decide its withheld/forked proposal.
+	// decide its withheld/forked proposal. Read-only after construction.
 	targetPart map[types.ReplicaID]int
 }
 
@@ -158,7 +167,17 @@ func (c *Coalition) Branches() int { return len(c.Partitions) }
 // builds its per-partition payloads, and deceitful echoers use it to echo
 // the right digest to the right partition.
 func (c *Coalition) RegisterVariant(d types.Digest, partition int) {
+	c.mu.Lock()
 	c.digestPartition[d] = partition
+	c.mu.Unlock()
+}
+
+// variantPartition looks up a registered variant's target partition.
+func (c *Coalition) variantPartition(d types.Digest) (int, bool) {
+	c.mu.RLock()
+	p, ok := c.digestPartition[d]
+	c.mu.RUnlock()
+	return p, ok
 }
 
 // VariantPayload derives the per-partition payload variant for the rbcast
@@ -269,7 +288,7 @@ func (c *Coalition) echoForPartition(to types.ReplicaID, seen []types.Digest) (t
 		best := -1
 		var bestD types.Digest
 		for _, d := range seen {
-			if dp, known := c.digestPartition[d]; known && (best == -1 || dp < best) {
+			if dp, known := c.variantPartition(d); known && (best == -1 || dp < best) {
 				best = dp
 				bestD = d
 			}
@@ -281,12 +300,12 @@ func (c *Coalition) echoForPartition(to types.ReplicaID, seen []types.Digest) (t
 	}
 	p := c.PartitionOf(to)
 	for _, d := range seen {
-		if dp, known := c.digestPartition[d]; known && dp == p {
+		if dp, known := c.variantPartition(d); known && dp == p {
 			return d, true
 		}
 	}
 	// Unknown digest (honest slot): echo honestly.
-	if _, known := c.digestPartition[seen[0]]; !known {
+	if _, known := c.variantPartition(seen[0]); !known {
 		return seen[0], true
 	}
 	return types.ZeroDigest, false

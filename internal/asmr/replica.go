@@ -24,6 +24,7 @@ import (
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/pipeline"
+	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
@@ -86,6 +87,10 @@ type Config struct {
 	// certificate for the whole deployment and signature checks fan out
 	// across the worker pool. Nil verifies inline.
 	Certs *pipeline.Verifier
+	// Intern, when set, canonicalizes reliable-broadcast payload bytes by
+	// digest across the deployment — one copy of each proposal instead of
+	// one per replica (rbc.Config.Intern). Nil keeps per-message slices.
+	Intern *rbc.Intern
 
 	// OnProposal observes every proposal payload the moment the reliable
 	// broadcast delivers it, before the instance decides — the
@@ -473,6 +478,7 @@ func (r *Replica) buildSBC(k uint64, st *instState) *sbc.Instance {
 		Accountable:  r.cfg.Accountable,
 		CoordTimeout: r.cfg.CoordTimeout,
 		Certs:        r.cfg.Certs,
+		Intern:       r.cfg.Intern,
 		OnProposal: func(payload []byte) {
 			if r.cfg.OnProposal != nil {
 				r.cfg.OnProposal(st.k, payload)

@@ -174,7 +174,7 @@ func RunAppendixB() []AppendixBRow {
 // PrintFig3 writes the throughput series grouped by system.
 func PrintFig3(w io.Writer, points []Fig3Point) {
 	fmt.Fprintln(w, "# Figure 3: throughput (tx/s) vs number of replicas")
-	fmt.Fprintf(w, "%-10s %6s %14s %10s\n", "system", "n", "tx/s", "instances")
+	fmt.Fprintf(w, "%-10s %6s %14s %10s %10s\n", "system", "n", "tx/s", "instances", "wall(s)")
 	sorted := append([]Fig3Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].System != sorted[j].System {
@@ -183,7 +183,7 @@ func PrintFig3(w io.Writer, points []Fig3Point) {
 		return sorted[i].N < sorted[j].N
 	})
 	for _, p := range sorted {
-		fmt.Fprintf(w, "%-10s %6d %14.0f %10d\n", p.System, p.N, p.TxPerSec, p.Instances)
+		fmt.Fprintf(w, "%-10s %6d %14.0f %10d %10.2f\n", p.System, p.N, p.TxPerSec, p.Instances, p.WallSec)
 	}
 }
 

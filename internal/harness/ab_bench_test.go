@@ -1,0 +1,39 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/bench"
+	"github.com/zeroloss/zlb/internal/harness"
+)
+
+// runAB drives the fig3 ZLB n=30 configuration (bench.ZLBFig3Options,
+// the same options CI's perf gate runs) with the simulator's execution
+// mode as the only variable — the A/B pair behind the EXPERIMENTS.md
+// parallel-simnet wall-clock comparison. The reported tx/s and event
+// counts must be identical between the two benchmarks (bit-identity is
+// pinned by TestParallelSimnetBitIdentical at the repository root);
+// only ns/op may differ.
+func runAB(b *testing.B, seqSim bool) {
+	opts := bench.ZLBFig3Options(30, 2, 42)
+	opts.SequentialSim = seqSim
+	for i := 0; i < b.N; i++ {
+		c, err := harness.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		c.RunUntilQuiet(30 * time.Minute)
+		if c.Exhausted() {
+			b.Fatal("run exhausted its event budget")
+		}
+		if i == 0 {
+			b.ReportMetric(c.Throughput(), "tx/s")
+			b.ReportMetric(float64(c.Net.Delivered), "events")
+		}
+	}
+}
+
+func BenchmarkSimSeq30(b *testing.B) { runAB(b, true) }
+func BenchmarkSimPar30(b *testing.B) { runAB(b, false) }

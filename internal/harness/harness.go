@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/adversary"
@@ -18,6 +19,7 @@ import (
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/pipeline"
+	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/store"
@@ -80,6 +82,11 @@ type Options struct {
 	// chain digests are bit-identical either way (the determinism tests
 	// pin this); the knob exists for those tests and for debugging.
 	Sequential bool
+	// SequentialSim forces the simulator's classic one-event-at-a-time
+	// loop instead of conservative parallel windows (simnet.Config.
+	// SequentialSim). Orthogonal to Sequential: one gates the commit
+	// pipeline, the other gates event dispatch. Bit-identical either way.
+	SequentialSim bool
 }
 
 // Commit records one replica's commit of one instance.
@@ -120,6 +127,16 @@ type Cluster struct {
 	// verdict cache for all replicas, fanning signature checks out over
 	// the process-wide worker pool (nil when Options.Sequential).
 	Certs *pipeline.Verifier
+	// Intern is the cluster-wide RBC payload intern table: one canonical
+	// byte slice per proposal digest instead of one copy per replica.
+	Intern *rbc.Intern
+	// mu guards the callback-written cluster maps that are not strictly
+	// per-replica (ChangeResults, JoinVerified, the lazy outer map of
+	// slotOutcomes, storeErr): with the parallel simulator, callbacks of
+	// different replicas run concurrently inside a window. Values are
+	// still deterministic — per-replica entries are disjoint — the lock
+	// only serializes map internals.
+	mu sync.Mutex
 	// storeErr records the first persistence failure; Run-level callers
 	// surface it through StoreErr.
 	storeErr error
@@ -203,10 +220,11 @@ func New(opts Options) (*Cluster, error) {
 		Stores:        make(map[types.ReplicaID]*store.Store),
 		slotOutcomes:  make(map[types.ReplicaID]map[uint64]map[types.ReplicaID]slotOutcome),
 	}
-	c.Net = simnet.New(simnet.Config{Latency: model, Cost: opts.Cost, Seed: opts.Seed})
+	c.Net = simnet.New(simnet.Config{Latency: model, Cost: opts.Cost, Seed: opts.Seed, SequentialSim: opts.SequentialSim})
 	if !opts.Sequential {
 		c.Certs = pipeline.NewVerifier(pipeline.Shared())
 	}
+	c.Intern = rbc.NewIntern()
 
 	all := append(append([]types.ReplicaID{}, members...), pool...)
 	for i, id := range all {
@@ -215,6 +233,10 @@ func New(opts Options) (*Cluster, error) {
 		c.Signers[id] = signer
 		c.Commits[id] = make(map[uint64]*Commit)
 		c.Finals[id] = make(map[uint64]time.Duration)
+		// Pre-size the per-replica outcome maps so callbacks only ever
+		// write per-replica inner maps (no lazy outer-map writes from
+		// concurrently executing window batches).
+		c.slotOutcomes[id] = make(map[uint64]map[types.ReplicaID]slotOutcome)
 		if opts.DataDir != "" {
 			st, err := store.Open(c.storeDir(id), store.Options{})
 			if err != nil {
@@ -256,6 +278,7 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 		WaitForWork:        c.Opts.WaitForWork,
 		Deceitful:          c.Coalition.IsDeceitful(id),
 		Certs:              c.Certs,
+		Intern:             c.Intern,
 		BatchSource: func(k uint64) asmr.Batch {
 			return c.batchFor(id, adv, k)
 		},
@@ -265,24 +288,20 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 				// Digest-only persistence: the synthetic workload has no
 				// transaction bodies, and the chain digest is what the
 				// crash-recovery scenario verifies.
-				if err := st.AppendBlock(&bm.Block{K: k, Digest: d.Digest()}, attempt); err != nil && c.storeErr == nil {
-					c.storeErr = err
+				if err := st.AppendBlock(&bm.Block{K: k, Digest: d.Digest()}, attempt); err != nil {
+					c.recordStoreErr(err)
 				}
 			}
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
 			if st := c.Stores[id]; st != nil {
-				if err := st.AppendMerge(&bm.Block{K: k, Digest: remote.Digest()}, uint32(0)); err != nil && c.storeErr == nil {
-					c.storeErr = err
+				if err := st.AppendMerge(&bm.Block{K: k, Digest: remote.Digest()}, uint32(0)); err != nil {
+					c.recordStoreErr(err)
 				}
 			}
 		},
 		OnSlotDecide: func(k uint64, _ uint32, slot types.ReplicaID, value bool, digest types.Digest) {
-			byK, ok := c.slotOutcomes[id]
-			if !ok {
-				byK = make(map[uint64]map[types.ReplicaID]slotOutcome)
-				c.slotOutcomes[id] = byK
-			}
+			byK := c.slotOutcomes[id]
 			bySlot, ok := byK[k]
 			if !ok {
 				bySlot = make(map[types.ReplicaID]slotOutcome)
@@ -296,10 +315,14 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 			c.Finals[id][k] = env.Now()
 		},
 		OnMembershipChange: func(res *membership.Result) {
+			c.mu.Lock()
 			c.ChangeResults[id] = append(c.ChangeResults[id], res)
+			c.mu.Unlock()
 		},
 		OnJoined: func(uint64, []types.ReplicaID) {
+			c.mu.Lock()
 			c.JoinVerified[id] = env.Now()
+			c.mu.Unlock()
 		},
 	}
 	r := asmr.NewReplica(cfg)
@@ -336,8 +359,22 @@ func (c *Cluster) storeDir(id types.ReplicaID) string {
 	return filepath.Join(c.Opts.DataDir, fmt.Sprintf("r%d", id))
 }
 
+// recordStoreErr remembers the first persistence failure (callbacks of
+// different replicas may race inside a parallel window).
+func (c *Cluster) recordStoreErr(err error) {
+	c.mu.Lock()
+	if c.storeErr == nil {
+		c.storeErr = err
+	}
+	c.mu.Unlock()
+}
+
 // StoreErr returns the first persistence failure, if any.
 func (c *Cluster) StoreErr() error { return c.storeErr }
+
+// Exhausted reports whether the simulator stopped on its MaxEvents budget
+// — a truncated run whose metrics must not be reported as results.
+func (c *Cluster) Exhausted() bool { return c.Net.Exhausted }
 
 // CloseStores flushes and closes every replica store.
 func (c *Cluster) CloseStores() error {

@@ -29,10 +29,51 @@ func (f ModelFunc) Delay(from, to types.ReplicaID, rng *rand.Rand) time.Duration
 	return f(from, to, rng)
 }
 
-// Fixed returns a constant-delay model.
-func Fixed(d time.Duration) Model {
-	return ModelFunc(func(_, _ types.ReplicaID, _ *rand.Rand) time.Duration { return d })
+// Bounded is implemented by models that can lower-bound every delay they
+// will ever produce. The bound is what the parallel simulator derives its
+// conservative lookahead window from (internal/simnet): a positive
+// MinDelay guarantees no message sent at virtual time t arrives before
+// t+MinDelay, so events less than MinDelay apart at different nodes are
+// causally independent. The bound must hold for every (from, to) pair and
+// every random draw — a model returning a delay below its stated MinDelay
+// breaks the simulator's bit-identity guarantee (and panics the run).
+// Models that cannot bound their delays away from zero (Gamma, arbitrary
+// ModelFunc) simply do not implement Bounded and run sequentially.
+type Bounded interface {
+	MinDelay() time.Duration
 }
+
+// MinDelayOf returns the model's guaranteed delay lower bound, or 0 when
+// the model does not implement Bounded (no usable lookahead).
+func MinDelayOf(m Model) time.Duration {
+	if b, ok := m.(Bounded); ok {
+		if d := b.MinDelay(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// fixedModel is the constant-delay model.
+type fixedModel struct{ d time.Duration }
+
+func (m fixedModel) Delay(_, _ types.ReplicaID, _ *rand.Rand) time.Duration { return m.d }
+func (m fixedModel) MinDelay() time.Duration                                { return m.d }
+
+// Fixed returns a constant-delay model.
+func Fixed(d time.Duration) Model { return fixedModel{d: d} }
+
+// uniformModel draws uniformly from [min, max].
+type uniformModel struct{ min, span time.Duration }
+
+func (m uniformModel) Delay(_, _ types.ReplicaID, rng *rand.Rand) time.Duration {
+	if m.span == 0 {
+		return m.min
+	}
+	return m.min + time.Duration(rng.Int63n(int64(m.span)+1))
+}
+
+func (m uniformModel) MinDelay() time.Duration { return m.min }
 
 // Uniform returns delays drawn uniformly from [min, max]. The paper's
 // partition-delay experiments use uniform delays with means of 200, 500
@@ -41,13 +82,7 @@ func Uniform(min, max time.Duration) Model {
 	if max < min {
 		min, max = max, min
 	}
-	span := max - min
-	return ModelFunc(func(_, _ types.ReplicaID, rng *rand.Rand) time.Duration {
-		if span == 0 {
-			return min
-		}
-		return min + time.Duration(rng.Int63n(int64(span)+1))
-	})
+	return uniformModel{min: min, span: max - min}
 }
 
 // UniformMean returns a uniform model on [mean/2, 3·mean/2], i.e. with the
@@ -99,12 +134,30 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 	}
 }
 
+// jitteredModel wraps a base model with multiplicative jitter.
+type jitteredModel struct {
+	base     Model
+	fraction float64
+}
+
+func (m jitteredModel) Delay(from, to types.ReplicaID, rng *rand.Rand) time.Duration {
+	d := m.base.Delay(from, to, rng)
+	j := 1 + m.fraction*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
+
+// MinDelay implements Bounded: the base bound shrunk by the worst-case
+// downward jitter (0 when the jitter can reach or cross zero, or when the
+// base is unbounded).
+func (m jitteredModel) MinDelay() time.Duration {
+	if m.fraction >= 1 {
+		return 0
+	}
+	return time.Duration(float64(MinDelayOf(m.base)) * (1 - m.fraction))
+}
+
 // Jittered wraps a model adding ±fraction multiplicative jitter, so fixed
 // matrices still produce distinct arrival orders run to run.
 func Jittered(base Model, fraction float64) Model {
-	return ModelFunc(func(from, to types.ReplicaID, rng *rand.Rand) time.Duration {
-		d := base.Delay(from, to, rng)
-		j := 1 + fraction*(2*rng.Float64()-1)
-		return time.Duration(float64(d) * j)
-	})
+	return jitteredModel{base: base, fraction: fraction}
 }

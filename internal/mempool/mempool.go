@@ -45,11 +45,22 @@ func (p *Pool) SetPreverify(fn func(*utxo.Transaction)) { p.preverify = fn }
 
 // Add enqueues tx unless its digest was ever added before. It reports
 // whether the transaction was added.
+//
+// Add warms every lazily memoized derived value (canonical encoding, ID,
+// signing digest) while the transaction is still owned by a single
+// goroutine: the pointer is about to be shared across all replicas'
+// pools, and with the parallel simulator several replicas may encode or
+// hash it concurrently. After Add, those accessors are read-only.
 func (p *Pool) Add(tx *utxo.Transaction) bool {
 	id := tx.ID()
 	if _, dup := p.seen[id]; dup {
 		return false
 	}
+	// Warm the remaining memos only for transactions actually entering
+	// the pool (ID is already computed above); rejected duplicates are
+	// dropped without paying the extra encode+hash.
+	tx.Canonical()
+	tx.SigDigest()
 	p.seen[id] = struct{}{}
 	p.queue = append(p.queue, tx)
 	if p.preverify != nil {

@@ -94,6 +94,16 @@ func (p *Pool) TryDo(fn func()) bool {
 // returns only after every index ran, so callers reduce results by index
 // regardless of which worker produced them. A nil pool runs inline in
 // index order.
+//
+// Completion is tracked per index, not per helper task: the caller waits
+// only until every fn call has finished, never for a queued helper to be
+// scheduled. Map is therefore safe to call from pool workers themselves
+// (the parallel simulator runs event handlers on the pool, and those
+// handlers fan out nested verification Maps): a helper task that never
+// runs — because every worker is busy inside such a nested Map — can no
+// longer deadlock the fan-in, since whoever finishes the last index
+// releases the waiter, and in-progress indices are by definition owned
+// by live goroutines.
 func (p *Pool) Map(n int, fn func(int)) {
 	if p == nil || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -101,7 +111,8 @@ func (p *Pool) Map(n int, fn func(int)) {
 		}
 		return
 	}
-	var next atomic.Int64
+	var next, completed atomic.Int64
+	done := make(chan struct{})
 	run := func() {
 		for {
 			i := int(next.Add(1)) - 1
@@ -109,26 +120,25 @@ func (p *Pool) Map(n int, fn func(int)) {
 				return
 			}
 			fn(i)
+			if completed.Add(1) == int64(n) {
+				close(done)
+			}
 		}
 	}
-	var wg sync.WaitGroup
 	helpers := p.workers - 1
 	if helpers > n-1 {
 		helpers = n - 1
 	}
-	for i := 0; i < helpers; i++ {
-		wg.Add(1)
-		submitted := false
+	submitted := 0
+	for submitted < helpers {
 		select {
-		case p.tasks <- func() { run(); wg.Done() }:
-			submitted = true
+		case p.tasks <- run:
+			submitted++
+			continue
 		default:
 		}
-		if !submitted {
-			wg.Done()
-			break // pool saturated; the caller drains the rest
-		}
+		break // pool saturated; the caller and prior helpers drain the rest
 	}
 	run()
-	wg.Wait()
+	<-done
 }

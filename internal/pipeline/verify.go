@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/crypto"
@@ -21,8 +22,18 @@ const maxCachedCerts = 1 << 14
 // certVerdict is the cached outcome of a certificate's structure and
 // signature checks. done is closed when err is final.
 type certVerdict struct {
-	done chan struct{}
-	err  error
+	// claimed serializes the verify-and-memoize step: whoever wins the
+	// claim computes the verdict and closes done; everyone else waits.
+	// Speculated entries are claimed only when a worker actually starts
+	// the check — a demand-side caller that arrives first steals the
+	// work instead of blocking on a task still sitting in the pool
+	// queue. That steal is what makes the verifier deadlock-free when
+	// the parallel simulator runs event handlers on the pool itself:
+	// every worker blocked in VerifyCertificate would otherwise wait for
+	// queue capacity that only those workers can free.
+	claimed atomic.Bool
+	done    chan struct{}
+	err     error
 }
 
 // Verifier checks certificates on the worker pool and memoizes verdicts
@@ -79,8 +90,10 @@ func (v *Verifier) Speculate(cert *accountability.Certificate, signer *crypto.Si
 	}
 	c := &certVerdict{done: make(chan struct{})}
 	if v.pool.TryDo(func() {
-		c.err = v.check(cert, signer)
-		close(c.done)
+		if c.claimed.CompareAndSwap(false, true) {
+			c.err = v.check(cert, signer)
+			close(c.done)
+		}
 	}) {
 		v.evictIfFull()
 		v.verdicts[cert] = c
@@ -104,11 +117,18 @@ func (v *Verifier) VerifyCertificate(cert *accountability.Certificate, signer *c
 		c = &certVerdict{done: make(chan struct{})}
 		v.evictIfFull()
 		v.verdicts[cert] = c
-		v.mu.Unlock()
+	}
+	v.mu.Unlock()
+	if c.claimed.CompareAndSwap(false, true) {
+		// First to claim (or the speculated task has not started yet):
+		// compute here. The verdict is a pure function of the
+		// certificate, so stealing queued speculation changes nothing
+		// but latency.
 		c.err = v.check(cert, signer)
 		close(c.done)
 	} else {
-		v.mu.Unlock()
+		// Claimed by a goroutine that is actively computing (never by a
+		// queued task), so this wait always makes progress.
 		<-c.done
 	}
 	if c.err != nil {

@@ -1,0 +1,38 @@
+package rbc
+
+import (
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// TestInternCanonicalizes pins the dedup contract: the first slice
+// stored for a digest wins, later byte-equal copies alias it, and a nil
+// table is a transparent no-op.
+func TestInternCanonicalizes(t *testing.T) {
+	in := NewIntern()
+	a := []byte("proposal-payload")
+	d := types.Hash(a)
+	if got := in.Bytes(d, a); &got[0] != &a[0] {
+		t.Fatal("first store must return the stored slice")
+	}
+	b := append([]byte(nil), a...) // equal content, distinct backing array
+	if got := in.Bytes(d, b); &got[0] != &a[0] {
+		t.Fatal("second store must alias the canonical slice")
+	}
+	if in.Len() != 1 {
+		t.Fatalf("interned %d payloads, want 1", in.Len())
+	}
+	other := []byte("different")
+	in.Bytes(types.Hash(other), other)
+	if in.Len() != 2 {
+		t.Fatalf("interned %d payloads, want 2", in.Len())
+	}
+	var nilIn *Intern
+	if got := nilIn.Bytes(d, b); &got[0] != &b[0] {
+		t.Fatal("nil intern must return the input unchanged")
+	}
+	if nilIn.Len() != 0 {
+		t.Fatal("nil intern reports non-zero length")
+	}
+}

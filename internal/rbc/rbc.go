@@ -147,6 +147,10 @@ type Config struct {
 	// Equivocator, when non-nil, makes this replica deceitful for this
 	// broadcast.
 	Equivocator *Equivocator
+	// Intern, when set, canonicalizes stored payload bytes by digest
+	// across the whole deployment (one copy per distinct proposal instead
+	// of one per replica). Nil keeps per-message slices.
+	Intern *Intern
 }
 
 // Instance is the state machine for one reliable-broadcast slot at one
@@ -270,7 +274,7 @@ func (r *Instance) OnInit(from types.ReplicaID, msg *Init) {
 		return // statement does not match payload
 	}
 	if _, known := r.payloads[d]; !known {
-		r.payloads[d] = msg.Payload
+		r.payloads[d] = r.cfg.Intern.Bytes(d, msg.Payload)
 		r.claimedMeta[d] = [2]int{msg.ClaimedBytes, msg.ClaimedSigs}
 		stmt := msg.Stmt
 		r.initStmts[d] = &stmt
@@ -475,7 +479,7 @@ func (r *Instance) OnPayloadReq(from types.ReplicaID, msg *PayloadReq) {
 func (r *Instance) OnPayloadResp(_ types.ReplicaID, msg *PayloadResp) {
 	d := types.Hash(msg.Payload)
 	if _, known := r.payloads[d]; !known {
-		r.payloads[d] = msg.Payload
+		r.payloads[d] = r.cfg.Intern.Bytes(d, msg.Payload)
 		r.claimedMeta[d] = [2]int{msg.ClaimedBytes, msg.ClaimedSigs}
 	}
 	r.maybeDeliver(d)

@@ -180,6 +180,9 @@ type Config struct {
 	// Certs, when set, routes certificate verification through the commit
 	// pipeline (shared verdicts, worker-pool signature fan-out).
 	Certs *pipeline.Verifier
+	// Intern, when set, canonicalizes reliable-broadcast payload bytes by
+	// digest across the deployment (rbc.Config.Intern).
+	Intern *rbc.Intern
 	// OnProposal observes every proposal payload the moment the reliable
 	// broadcast delivers it — while the binary consensus is still
 	// deciding. The application uses it to pre-validate the batch
@@ -297,6 +300,7 @@ func (s *Instance) rbcFor(slot types.ReplicaID) *rbc.Instance {
 			Env:         s.cfg.Env,
 			Accountable: s.cfg.Accountable,
 			Equivocator: eq,
+			Intern:      s.cfg.Intern,
 			OnDeliver:   func(d rbc.Delivery) { s.onDeliver(d) },
 		})
 		s.rbcs[slot] = r

@@ -447,6 +447,9 @@ func Run(s Scenario) (*Result, error) {
 	if err := c.StoreErr(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	if c.Exhausted() {
+		return nil, fmt.Errorf("scenario %s: simulator exhausted its MaxEvents budget mid-run; metrics would come from a truncated simulation", s.Name)
+	}
 	res.Converged = c.ConvergedAgreement()
 	res.Committed = prev.Committed
 	res.Disagreements = prev.Disagreements

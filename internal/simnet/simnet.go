@@ -12,11 +12,22 @@
 //
 // Runs are reproducible: all scheduling is driven by a seeded RNG and a
 // heap ordered by (virtual time, sequence number).
+//
+// When the latency model guarantees a positive minimum delay
+// (latency.Bounded), Run and RunUntilQuiet execute conservative parallel
+// windows: all events due within one lookahead interval are popped,
+// grouped by destination node and executed concurrently on the
+// internal/pipeline worker pool, then their outputs are merged in the
+// exact order sequential execution would have produced. Every metric,
+// RNG draw and queue ordering is bit-identical to sequential execution —
+// see README.md ("Conservative parallel windows") for the argument, and
+// Config.SequentialSim for the forced-sequential reference mode.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/latency"
@@ -118,7 +129,14 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed int64
 	// MaxEvents aborts a runaway simulation; 0 means a large default.
+	// Hitting it sets Network.Exhausted — callers must treat the run as
+	// failed, not as a drained queue.
 	MaxEvents int
+	// SequentialSim forces the classic one-event-at-a-time loop even when
+	// the latency model supports a parallel lookahead. Results are
+	// bit-identical either way (the determinism suite pins this); the
+	// knob exists for A/B wall-clock comparisons and debugging.
+	SequentialSim bool
 }
 
 type eventKind int
@@ -227,6 +245,18 @@ type nodeState struct {
 	// epoch counts ReplaceHandler restarts; timers carry the epoch they
 	// were armed in and stale ones are dropped.
 	epoch uint32
+	// nextTimer is the node's private timer-ID counter. IDs are per-node
+	// (the cancelled set is per-node and timers only ever deliver to
+	// their owner), which lets parallel windows mint IDs without a
+	// cross-node ordering dependency. It survives ReplaceHandler so a
+	// stale pre-restart cancellation can never hit a fresh timer.
+	nextTimer TimerID
+	// win is the node's window context while a parallel window executes
+	// its batch; Send/SetTimer buffer through it instead of touching the
+	// shared event queue. Nil outside windows (sequential path).
+	win *winNode
+	// winbuf is the node's reusable window scratch, lazily allocated.
+	winbuf *winNode
 }
 
 // Network is the simulator. Not safe for concurrent use; the entire
@@ -238,16 +268,33 @@ type Network struct {
 	// nodes is a dense slice indexed by ReplicaID: replica IDs are small
 	// consecutive integers, so the per-event lookup is an array index
 	// instead of a map probe. Unregistered IDs hold nil.
-	nodes     []*nodeState
-	order     []types.ReplicaID // insertion order, for deterministic reporting
-	seq       uint64
-	rng       *rand.Rand
-	nextTimer TimerID
+	nodes []*nodeState
+	order []types.ReplicaID // insertion order, for deterministic reporting
+	seq   uint64
+	rng   *rand.Rand
+
+	// lookahead is the conservative parallel window width: the latency
+	// model's guaranteed minimum delay plus the fixed per-message send
+	// cost. Zero disables parallel execution (unbounded model).
+	lookahead time.Duration
+	// Window scratch, reused across windows (see parallel.go).
+	winEvents []event
+	winActive []*winNode
+	winReplay replayHeap
+	winBudget atomic.Int64
 
 	// Stats
 	Delivered int
 	Dropped   int
 	BytesSent int64
+
+	// Exhausted is set when the MaxEvents budget stopped the simulation
+	// with events still queued. A run that trips it produced metrics from
+	// a truncated simulation: benches and scenarios fail instead of
+	// reporting them. (Once exhausted, delivery composition may also
+	// differ between sequential and parallel execution — bit-identity is
+	// only guaranteed for runs that complete within budget.)
+	Exhausted bool
 
 	// Trace, if set, observes every delivery (after processing cost is
 	// charged). Used by the metrics harness.
@@ -272,11 +319,22 @@ func New(cfg Config) *Network {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
 	}
-	return &Network{
+	n := &Network{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Latency != nil {
+		if min := latency.MinDelayOf(cfg.Latency); min > 0 {
+			n.lookahead = min + cfg.Cost.SendBase
+		}
+	}
+	return n
 }
+
+// Lookahead returns the conservative parallel window width (0 when the
+// latency model cannot bound its delays and the simulation runs
+// sequentially).
+func (n *Network) Lookahead() time.Duration { return n.lookahead }
 
 // node returns the state registered for id, or nil.
 func (n *Network) node(id types.ReplicaID) *nodeState {
@@ -365,6 +423,10 @@ func (s *nodeState) Send(to types.ReplicaID, msg Message) {
 		return
 	}
 	n := s.net
+	if w := s.win; w != nil {
+		w.send(to, msg)
+		return
+	}
 	dst := n.node(to)
 	if dst == nil || !dst.up {
 		n.Dropped++
@@ -406,9 +468,13 @@ func (s *nodeState) Send(to types.ReplicaID, msg Message) {
 }
 
 func (s *nodeState) SetTimer(d time.Duration, payload any) TimerID {
+	s.nextTimer++
+	id := s.nextTimer
+	if w := s.win; w != nil {
+		w.setTimer(s.now+d, id, payload)
+		return id
+	}
 	n := s.net
-	n.nextTimer++
-	id := n.nextTimer
 	n.seq++
 	n.pq.push(event{
 		at:         s.now + d,
@@ -432,65 +498,88 @@ func (s *nodeState) CancelTimer(id TimerID) {
 // --- Run loop ---
 
 // Step processes the next event. It returns false when the queue is empty
-// or the event budget is exhausted.
+// or the event budget is exhausted (setting Exhausted in the latter case).
 func (n *Network) Step() bool {
 	for n.pq.Len() > 0 {
 		if n.Delivered >= n.cfg.MaxEvents {
+			n.Exhausted = true
 			return false
 		}
-		ev := n.pq.pop()
-		st := n.node(ev.to)
-		if st == nil || !st.up {
-			n.Dropped++
-			continue
+		if n.stepEvent(n.pq.pop()) {
+			return true
 		}
-		if ev.kind == evTimer {
-			if ev.timerEpoch != st.epoch {
-				continue // armed by a previous incarnation of the node
-			}
-			if _, cancelled := st.cancelled[ev.timerID]; cancelled {
-				delete(st.cancelled, ev.timerID)
-				continue
-			}
-		}
-		start := ev.at
-		if st.busyUntil > start {
-			start = st.busyUntil
-		}
-		switch ev.kind {
-		case evDeliver:
-			done := start + n.cfg.Cost.recvCost(ev.msg)
-			st.busyUntil = done
-			st.now = done
-			if done > n.clock {
-				n.clock = done
-			}
-			n.Delivered++
-			st.handler.OnMessage(ev.from, ev.msg)
-			if n.Trace != nil {
-				n.Trace(done, ev.from, ev.to, ev.msg)
-			}
-		case evTimer:
-			st.busyUntil = start
-			st.now = start
-			if start > n.clock {
-				n.clock = start
-			}
-			n.Delivered++
-			st.handler.OnTimer(ev.payload)
-		}
-		return true
 	}
 	return false
 }
 
+// stepEvent processes one already-popped event and reports whether it was
+// delivered (skipped events — down destinations, cancelled or stale
+// timers — return false with no effect beyond the drop counter).
+func (n *Network) stepEvent(ev event) bool {
+	st := n.node(ev.to)
+	if st == nil || !st.up {
+		n.Dropped++
+		return false
+	}
+	if ev.kind == evTimer {
+		if ev.timerEpoch != st.epoch {
+			return false // armed by a previous incarnation of the node
+		}
+		if _, cancelled := st.cancelled[ev.timerID]; cancelled {
+			delete(st.cancelled, ev.timerID)
+			return false
+		}
+	}
+	start := ev.at
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	switch ev.kind {
+	case evDeliver:
+		done := start + n.cfg.Cost.recvCost(ev.msg)
+		st.busyUntil = done
+		st.now = done
+		if done > n.clock {
+			n.clock = done
+		}
+		n.Delivered++
+		st.handler.OnMessage(ev.from, ev.msg)
+		if n.Trace != nil {
+			n.Trace(done, ev.from, ev.to, ev.msg)
+		}
+	case evTimer:
+		st.busyUntil = start
+		st.now = start
+		if start > n.clock {
+			n.clock = start
+		}
+		n.Delivered++
+		st.handler.OnTimer(ev.payload)
+	}
+	return true
+}
+
 // Run processes events until the virtual clock passes the deadline or the
-// queue drains. It returns the number of events processed.
+// queue drains. It returns the number of events delivered. Windows whose
+// lookahead interval fits entirely before the deadline execute in
+// parallel (see parallel.go); the boundary-straddling tail steps
+// sequentially, which keeps Run's exact event-for-event semantics.
 func (n *Network) Run(until time.Duration) int {
 	processed := 0
 	for n.pq.Len() > 0 {
-		if next := n.pq.minAt(); next > until {
+		next := n.pq.minAt()
+		if next > until {
 			break
+		}
+		if n.parallelOK() {
+			if end := next + n.lookahead; end-1 <= until {
+				p, ok := n.runWindow(end)
+				processed += p
+				if !ok {
+					break
+				}
+				continue
+			}
 		}
 		if !n.Step() {
 			break
@@ -504,10 +593,24 @@ func (n *Network) Run(until time.Duration) int {
 }
 
 // RunUntilQuiet processes events until no events remain or maxTime is
-// reached. It returns the number of events processed.
+// reached. It returns the number of events delivered.
 func (n *Network) RunUntilQuiet(maxTime time.Duration) int {
 	processed := 0
-	for n.pq.Len() > 0 && n.pq.minAt() <= maxTime {
+	for n.pq.Len() > 0 {
+		next := n.pq.minAt()
+		if next > maxTime {
+			break
+		}
+		if n.parallelOK() {
+			if end := next + n.lookahead; end-1 <= maxTime {
+				p, ok := n.runWindow(end)
+				processed += p
+				if !ok {
+					break
+				}
+				continue
+			}
+		}
 		if !n.Step() {
 			break
 		}

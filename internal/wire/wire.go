@@ -160,6 +160,15 @@ func (c *BatchCache) Decode(payload []byte) ([]*utxo.Transaction, error) {
 	c.mu.Unlock()
 
 	e.txs, e.err = DecodeBatch(payload)
+	// Warm the memoized IDs and signing digests before publishing the
+	// batch: cached transactions are shared by every replica committing
+	// the same decision, and with the parallel simulator those replicas
+	// hash them concurrently. After this loop the accessors are
+	// read-only.
+	for _, tx := range e.txs {
+		tx.ID()
+		tx.SigDigest()
+	}
 	close(e.done)
 	if e.err != nil {
 		// Do not cache failures: drop the entry so the counters and

@@ -133,14 +133,19 @@ func compare(base, cur map[pointKey]bench.Fig3Point, maxDrop float64) (string, [
 	})
 	var b strings.Builder
 	var failures []string
-	b.WriteString("| system | n | baseline tx/s | current tx/s | delta | gate |\n")
-	b.WriteString("|---|---|---|---|---|---|\n")
+	// The wall-clock column is informational only: elapsed time depends
+	// on the runner, GOMAXPROCS and the simulation mode, so it never
+	// gates. Virtual tx/s is the deterministic, runner-speed-proof metric
+	// the gate compares.
+	b.WriteString("| system | n | baseline tx/s | current tx/s | delta | wall base | wall cur | gate |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, k := range keys {
 		bp := base[k]
 		cp, ok := cur[k]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s n=%d: missing from current report", k.System, k.N))
-			fmt.Fprintf(&b, "| %s | %d | %.0f | missing | — | FAIL |\n", k.System, k.N, bp.TxPerSec)
+			fmt.Fprintf(&b, "| %s | %d | %.0f | missing | — | %s | — | FAIL |\n",
+				k.System, k.N, bp.TxPerSec, wallCell(bp.WallSec))
 			continue
 		}
 		delta := 0.0
@@ -153,10 +158,20 @@ func compare(base, cur map[pointKey]bench.Fig3Point, maxDrop float64) (string, [
 			failures = append(failures, fmt.Sprintf("%s n=%d: %.0f -> %.0f tx/s (%.1f%%)",
 				k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100))
 		}
-		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s |\n",
-			k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100, verdict)
+		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s | %s | %s |\n",
+			k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100,
+			wallCell(bp.WallSec), wallCell(cp.WallSec), verdict)
 	}
 	return b.String(), failures
+}
+
+// wallCell formats an informational wall-clock reading; baselines written
+// before the column existed show a dash.
+func wallCell(sec float64) string {
+	if sec <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.2fs", sec)
 }
 
 func copyFile(src, dst string) error {

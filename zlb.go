@@ -126,6 +126,14 @@ type Config struct {
 	// exists for those tests and for debugging.
 	SequentialCommit bool
 
+	// SequentialSim forces the simulator's classic one-event-at-a-time
+	// loop instead of conservative parallel windows
+	// (simnet.Config.SequentialSim). Orthogonal to SequentialCommit: one
+	// gates event dispatch, the other the commit pipeline. Results are
+	// bit-identical either way; the knob exists for the determinism
+	// suite and wall-clock A/B runs.
+	SequentialSim bool
+
 	// DataDir, when set, makes every replica persist its chain to a
 	// durable block store (internal/store) under <DataDir>/r<id>:
 	// committed blocks and reconciliation merges write through, and a
@@ -312,6 +320,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Seed:           cfg.Seed,
 		WaitForWork:    true,
 		Sequential:     cfg.SequentialCommit,
+		SequentialSim:  cfg.SequentialSim,
 		CoordTimeout: func(r types.Round) time.Duration {
 			return 150 * time.Millisecond * time.Duration(r+1)
 		},
