@@ -89,16 +89,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	go func() {
-		<-sig
-		log.Printf("shutting down")
-		rn.Close()
-	}()
+	stop := shutdownOnSignal(rn, log.Printf)
+	defer stop()
 	if err := rn.Serve(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// shutdownOnSignal arms graceful shutdown: the first SIGINT/SIGTERM stops
+// accepting connections, drains the event loop and flushes + closes the
+// store (rn.Close waits for all of it), so the data directory is
+// consistent for the next start. A second signal while draining exits
+// immediately — the escape hatch when a peer wedges the drain. The
+// returned stop function disarms the handler (used by tests; main never
+// needs it).
+func shutdownOnSignal(rn *replicaNode, logf func(format string, args ...any)) (stop func()) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sig:
+			logf("received %v: draining event loop and closing store", s)
+		case <-quit:
+			return
+		}
+		go func() {
+			select {
+			case s := <-sig:
+				logf("received second %v: exiting immediately", s)
+				os.Exit(1)
+			case <-quit:
+			}
+		}()
+		rn.Close()
+	}()
+	return func() {
+		signal.Stop(sig)
+		close(quit)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"os"
+	"syscall"
 	"testing"
 	"time"
 
@@ -235,6 +237,122 @@ func TestNodeKillRestartRecovers(t *testing.T) {
 	// It must converge to the survivors' chain (catch-up of the missed
 	// tail), including the recovered UTXO state.
 	waitFor(t, 60*time.Second, "replica 4 catching up to the honest chain", func() bool {
+		ref := nodes[0].state()
+		got := nodes[3].state()
+		if got.LastK < ref.LastK || got.Faucet != ref.Faucet {
+			return false
+		}
+		for k, d := range ref.Digests {
+			if got.Digests[k] != d {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestNodeCleanSignalShutdown is the clean-signal counterpart of the
+// kill/restart test: replica 4 is shut down via SIGTERM through the same
+// handler main installs. The shutdown must stop accepting, drain the
+// event loop and close the store before Close returns (rn.served), the
+// survivors keep committing, and a restart from the same data directory
+// recovers the full pre-shutdown chain — the graceful path must be at
+// least as safe as the abrupt one.
+func TestNodeCleanSignalShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP integration test")
+	}
+	const n = 4
+	const seed = int64(13)
+	addrs := freeAddrs(t, n)
+	dataDirs := make([]string, n)
+	for i := range dataDirs {
+		dataDirs[i] = t.TempDir()
+	}
+
+	mkNode := func(i int) *replicaNode {
+		rn, err := newReplicaNode(nodeConfig{
+			Self:            types.ReplicaID(i + 1),
+			N:               n,
+			Listen:          addrs[i],
+			Peers:           addrs,
+			Seed:            seed,
+			DataDir:         dataDirs[i],
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+		go rn.Serve()
+		return rn
+	}
+	nodes := make([]*replicaNode, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = mkNode(i)
+	}
+	defer func() {
+		for _, rn := range nodes {
+			if rn != nil {
+				rn.Close()
+			}
+		}
+	}()
+
+	client := newTestClient(t, seed, addrs)
+	for b := 0; b < 2; b++ {
+		client.submit(types.Amount(700+b), 0, 1, 2, 3)
+		want := b + 1
+		waitFor(t, 30*time.Second, fmt.Sprintf("block %d on all replicas", want), func() bool {
+			for i := 0; i < n; i++ {
+				if nodes[i].state().Height < want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	preShutdown := nodes[3].state()
+	if preShutdown.Height < 2 {
+		t.Fatalf("replica 4 height %d before shutdown, want ≥ 2", preShutdown.Height)
+	}
+
+	// Arm the same handler main() installs and deliver a real SIGTERM.
+	stop := shutdownOnSignal(nodes[3], t.Logf)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-nodes[3].served: // Serve exited and the store is closed
+	case <-time.After(30 * time.Second):
+		t.Fatal("signal shutdown did not drain within 30s")
+	}
+	stop()
+	nodes[3] = nil
+
+	// The survivors (exact quorum) keep committing.
+	client.submit(types.Amount(900), 0, 1, 2)
+	waitFor(t, 60*time.Second, "block 3 on the survivors", func() bool {
+		for i := 0; i < 3; i++ {
+			if nodes[i].state().Height < 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Restart from the cleanly-closed store: the full pre-shutdown chain
+	// must be on disk, and the node must converge with its peers.
+	nodes[3] = mkNode(3)
+	restored := nodes[3].state()
+	if restored.Height < preShutdown.Height {
+		t.Fatalf("restart recovered height %d, want ≥ %d", restored.Height, preShutdown.Height)
+	}
+	for k, d := range preShutdown.Digests {
+		if restored.Digests[k] != d {
+			t.Fatalf("recovered block %d digest differs from pre-shutdown state", k)
+		}
+	}
+	waitFor(t, 60*time.Second, "replica 4 rejoining after clean shutdown", func() bool {
 		ref := nodes[0].state()
 		got := nodes[3].state()
 		if got.LastK < ref.LastK || got.Faucet != ref.Faucet {

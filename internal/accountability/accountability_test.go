@@ -250,6 +250,143 @@ func TestLogForgetAndAddPoF(t *testing.T) {
 	}
 }
 
+// TestLogExactFaultThresholdCulprits drives the boundary the exclusion
+// logic keys on: two forked quorum certificates over n=9 whose signer
+// sets overlap in exactly n/3 replicas. Cross-checking must surface
+// exactly FaultThreshold(9)=3 culprits, and feeding the log the same
+// proofs repeatedly — as duplicates or as raw certificate statements —
+// must not inflate the count.
+func TestLogExactFaultThresholdCulprits(t *testing.T) {
+	const n = 9
+	signers := testSigners(t, n)
+	stmtTrue := auxStmt(5, 4, 0, true)
+	stmtFalse := auxStmt(5, 4, 0, false)
+	var sigsA, sigsB []Signed
+	for _, s := range signers[0:6] { // quorum(9)=6
+		signed, _ := SignStatement(s, stmtTrue)
+		sigsA = append(sigsA, signed)
+	}
+	for _, s := range signers[3:9] {
+		signed, _ := SignStatement(s, stmtFalse)
+		sigsB = append(sigsB, signed)
+	}
+	certA, _ := NewCertificate(stmtTrue, sigsA)
+	certB, _ := NewCertificate(stmtFalse, sigsB)
+
+	pofs := CrossCheck(certA, certB)
+	if want := types.FaultThreshold(n); len(pofs) != want {
+		t.Fatalf("cross-check found %d culprits, want exactly n/3 = %d", len(pofs), want)
+	}
+
+	var fired int
+	log := NewLog(signers[0], func(PoF) { fired++ })
+	for _, p := range pofs {
+		if !log.AddPoF(p) {
+			t.Fatalf("fresh PoF for %v rejected", p.Culprit)
+		}
+	}
+	// The same proofs again, and the same equivocations rediscovered from
+	// the certificates themselves, are all duplicates.
+	for _, p := range pofs {
+		if log.AddPoF(p) {
+			t.Fatalf("duplicate PoF for %v re-added", p.Culprit)
+		}
+	}
+	log.RecordCertificate(certA)
+	log.RecordCertificate(certB)
+	if got, want := log.CulpritCount(), types.FaultThreshold(n); got != want {
+		t.Fatalf("culprit count %d, want exactly %d", got, want)
+	}
+	if fired != types.FaultThreshold(n) {
+		t.Fatalf("onPoF fired %d times, want %d", fired, types.FaultThreshold(n))
+	}
+}
+
+// TestLogDuplicatePoFsSamePair pins that two proofs built from the same
+// statement pair — including the arguments swapped — count as one culprit.
+func TestLogDuplicatePoFsSamePair(t *testing.T) {
+	signers := testSigners(t, 4)
+	var fired int
+	log := NewLog(signers[1], func(PoF) { fired++ })
+	a, _ := SignStatement(signers[0], auxStmt(1, 1, 0, true))
+	b, _ := SignStatement(signers[0], auxStmt(1, 1, 0, false))
+	p1, err := NewPoF(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPoF(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.AddPoF(p1) {
+		t.Fatal("fresh PoF rejected")
+	}
+	if log.AddPoF(p2) {
+		t.Fatal("swapped-pair PoF for the same culprit re-added")
+	}
+	if fired != 1 || log.CulpritCount() != 1 {
+		t.Fatalf("fired=%d culprits=%d, want 1/1", fired, log.CulpritCount())
+	}
+}
+
+// TestLogPostExclusionIdempotence pins the edge the conformance checker
+// leans on: once a culprit's proofs are handled by a completed membership
+// change (Forget), late-arriving evidence — gossiped PoFs still in
+// flight, equivocations rediscovered while replaying certificates during
+// catch-up — must neither resurrect the culprit nor re-fire onPoF, which
+// would spuriously restart an exclusion that already happened.
+func TestLogPostExclusionIdempotence(t *testing.T) {
+	signers := testSigners(t, 4)
+	culprit := signers[0].ID()
+	var fired int
+	log := NewLog(signers[1], func(PoF) { fired++ })
+
+	a, _ := SignStatement(signers[0], auxStmt(1, 1, 0, true))
+	b, _ := SignStatement(signers[0], auxStmt(1, 1, 0, false))
+	log.Record(a)
+	if pof := log.Record(b); pof == nil {
+		t.Fatal("equivocation not detected")
+	}
+	pof, _ := log.PoFFor(culprit)
+	log.Forget([]types.ReplicaID{culprit})
+	if !log.Treated(culprit) {
+		t.Fatal("forgotten culprit not marked treated")
+	}
+	if log.CulpritCount() != 0 {
+		t.Fatal("forget did not clear the culprit")
+	}
+
+	// Late gossip of the proof that triggered the exclusion.
+	if log.AddPoF(pof) {
+		t.Fatal("post-exclusion PoF re-added")
+	}
+	// Fresh equivocation evidence from a different round, e.g. inside a
+	// certificate replayed during catch-up.
+	c, _ := SignStatement(signers[0], auxStmt(1, 1, 1, true))
+	d, _ := SignStatement(signers[0], auxStmt(1, 1, 1, false))
+	log.Record(c)
+	if got := log.Record(d); got != nil {
+		t.Fatal("post-exclusion equivocation produced a PoF")
+	}
+	if fired != 1 {
+		t.Fatalf("onPoF fired %d times, want 1 (exclusion is idempotent)", fired)
+	}
+	if log.CulpritCount() != 0 {
+		t.Fatalf("culprit resurrected after exclusion: %v", log.Culprits())
+	}
+
+	// An unrelated culprit is still detected normally.
+	e, _ := SignStatement(signers[2], auxStmt(1, 1, 0, true))
+	f, _ := SignStatement(signers[2], auxStmt(1, 1, 0, false))
+	log.Record(e)
+	if got := log.Record(f); got == nil || got.Culprit != signers[2].ID() {
+		t.Fatal("new culprit not detected after an exclusion")
+	}
+	if fired != 2 || log.CulpritCount() != 1 {
+		t.Fatalf("fired=%d culprits=%d, want 2/1", fired, log.CulpritCount())
+	}
+}
+
 func TestRecordVerifyRejectsBadSignatures(t *testing.T) {
 	signers := testSigners(t, 4)
 	log := NewLog(signers[1], nil)

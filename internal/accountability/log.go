@@ -23,6 +23,20 @@ type Log struct {
 	seen map[slotSigner]Signed
 	// pofs accumulated, one per culprit (the first found is kept)
 	pofs map[types.ReplicaID]PoF
+	// treated marks culprits whose proofs were handled by a completed
+	// membership change (Forget). Proofs for a treated culprit arriving
+	// afterwards — gossip still in flight, certificates replayed during
+	// catch-up — must not resurrect the culprit: re-firing onPoF would
+	// count an already-excluded replica towards a fresh exclusion
+	// threshold and trigger a spurious membership change.
+	treated map[types.ReplicaID]bool
+	// proven is the monotone record of every replica ever proven deceitful
+	// by this log. Unlike pofs it survives Forget: exclusion discards the
+	// *proofs* (they were consumed by the membership change) but the fact
+	// that the replica equivocated is permanent, and it is what audits and
+	// the conformance invariants ("no honest replica is ever accused")
+	// check against.
+	proven map[types.ReplicaID]bool
 	// onPoF, if set, fires once per new culprit.
 	onPoF func(PoF)
 	// verified statements count, for metrics
@@ -43,6 +57,8 @@ func NewLog(verifier *crypto.Signer, onPoF func(PoF)) *Log {
 		verifier: verifier,
 		seen:     make(map[slotSigner]Signed),
 		pofs:     make(map[types.ReplicaID]PoF),
+		treated:  make(map[types.ReplicaID]bool),
+		proven:   make(map[types.ReplicaID]bool),
 		onPoF:    onPoF,
 	}
 }
@@ -66,8 +82,12 @@ func (l *Log) Record(s Signed) *PoF {
 	if err != nil {
 		return nil
 	}
+	if l.treated[pof.Culprit] {
+		return nil // already excluded; evidence is stale
+	}
 	if _, known := l.pofs[pof.Culprit]; !known {
 		l.pofs[pof.Culprit] = pof
+		l.proven[pof.Culprit] = true
 		if l.onPoF != nil {
 			l.onPoF(pof)
 		}
@@ -95,12 +115,18 @@ func (l *Log) RecordCertificate(c *Certificate) {
 
 // AddPoF ingests an externally received, already verified PoF (replicas
 // broadcast their new PoFs during membership changes, Alg. 1 line 26).
-// It reports whether the culprit was new.
+// It reports whether the culprit was new. Duplicate proofs for the same
+// culprit and proofs arriving after the culprit's exclusion (Forget) are
+// both ignored, so late gossip can never re-trigger onPoF.
 func (l *Log) AddPoF(p PoF) bool {
 	if _, known := l.pofs[p.Culprit]; known {
 		return false
 	}
+	if l.treated[p.Culprit] {
+		return false
+	}
 	l.pofs[p.Culprit] = p
+	l.proven[p.Culprit] = true
 	if l.onPoF != nil {
 		l.onPoF(p)
 	}
@@ -136,9 +162,33 @@ func (l *Log) PoFFor(id types.ReplicaID) (PoF, bool) {
 }
 
 // Forget removes proofs for culprits that have been handled by a completed
-// membership change (Alg. 1 line 39 discards treated PoFs).
+// membership change (Alg. 1 line 39 discards treated PoFs). Forgotten
+// culprits are remembered as treated: Record and AddPoF ignore further
+// evidence against them, making exclusion idempotent under replayed
+// gossip and certificates re-examined during catch-up.
 func (l *Log) Forget(ids []types.ReplicaID) {
 	for _, id := range ids {
 		delete(l.pofs, id)
+		l.treated[id] = true
 	}
 }
+
+// Treated reports whether a culprit's proofs were already handled by a
+// completed membership change.
+func (l *Log) Treated(id types.ReplicaID) bool { return l.treated[id] }
+
+// ProvenCulprits returns every replica ever proven deceitful by this log,
+// sorted — including culprits whose proofs were since consumed by a
+// membership change (Forget). This is the monotone audit view the
+// end-of-run metrics and the conformance invariants use.
+func (l *Log) ProvenCulprits() []types.ReplicaID {
+	ids := make([]types.ReplicaID, 0, len(l.proven))
+	for id := range l.proven {
+		ids = append(ids, id)
+	}
+	return types.SortReplicas(ids)
+}
+
+// ProvenCount returns how many distinct replicas were ever proven
+// deceitful, regardless of later Forget calls.
+func (l *Log) ProvenCount() int { return len(l.proven) }

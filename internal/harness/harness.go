@@ -706,8 +706,11 @@ type Snapshot struct {
 	Txs int
 	// Disagreements is the Fig. 4 disagreement count so far.
 	Disagreements int
-	// Culprits is how many provably deceitful replicas the first honest
-	// replica has PoFs on.
+	// Culprits is how many replicas the first honest replica has ever
+	// proven deceitful. The count is monotone: proofs consumed by a
+	// completed membership change (Log.Forget) still count, so the metric
+	// reads as "culprits detected so far" rather than "PoFs currently
+	// held".
 	Culprits int
 	// Detected reports the fd = ⌈n/3⌉ detection threshold (Fig. 5 left);
 	// DetectedAt is the earliest honest replica's absolute detection time.
@@ -741,7 +744,7 @@ func (c *Cluster) Snapshot() Snapshot {
 		for _, commit := range c.Commits[first] {
 			s.Txs += commit.Decision.TotalClaimedTx()
 		}
-		s.Culprits = len(c.Replicas[first].Log().Culprits())
+		s.Culprits = c.Replicas[first].Log().ProvenCount()
 	}
 	if at, ok := c.DetectionTime(); ok {
 		s.Detected = true
@@ -762,11 +765,13 @@ func (c *Cluster) Snapshot() Snapshot {
 	return s
 }
 
-// CulpritsDetected returns the culprits known to the first honest replica.
+// CulpritsDetected returns every culprit the first honest replica has
+// ever proven deceitful, including those whose proofs a completed
+// membership change already consumed.
 func (c *Cluster) CulpritsDetected() []types.ReplicaID {
 	honest := c.HonestMembers()
 	if len(honest) == 0 {
 		return nil
 	}
-	return c.Replicas[honest[0]].Log().Culprits()
+	return c.Replicas[honest[0]].Log().ProvenCulprits()
 }

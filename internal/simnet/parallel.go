@@ -40,10 +40,11 @@ const minParallelNodes = 4
 
 // parallelOK reports whether window execution is currently usable. Trace
 // observes deliveries in processing order, so tracing forces the
-// sequential loop.
+// sequential loop; so does DeliverRule, which rewrites messages at
+// delivery time and must see them one at a time, in order.
 func (n *Network) parallelOK() bool {
 	return n.lookahead > 0 && !n.cfg.SequentialSim && n.Trace == nil &&
-		len(n.order) >= minParallelNodes
+		n.DeliverRule == nil && len(n.order) >= minParallelNodes
 }
 
 // winCreation is one buffered side effect of an in-window handler

@@ -312,6 +312,20 @@ type Network struct {
 	// never delayed. Both rules may be reassigned between Run calls; the
 	// scenario engine (internal/scenario) drives them per fault phase.
 	DelayRule func(from, to types.ReplicaID, msg Message) time.Duration
+
+	// DeliverRule, if set, intercepts every message at delivery time,
+	// after latency, drop and delay rules have run their course: the
+	// returned message is what the destination handler actually sees.
+	// Return the message unchanged to pass it through, a different
+	// message to rewrite it in flight (a Byzantine network surface — the
+	// conformance harness forges equivocations this way), or nil to
+	// swallow it (counted in Dropped). Unlike DropRule/DelayRule it runs
+	// at delivery rather than send time, so a rule installed mid-run
+	// also affects messages already in flight. Handlers may call Inject
+	// from inside the rule to schedule fabricated follow-ups. Installing
+	// a DeliverRule forces sequential execution: parallel windows are
+	// disabled while it is non-nil (see parallelOK).
+	DeliverRule func(from, to types.ReplicaID, msg Message) Message
 }
 
 // New creates a simulated network.
@@ -406,6 +420,18 @@ func (n *Network) Handler(id types.ReplicaID) Handler {
 		return st.handler
 	}
 	return nil
+}
+
+// Epoch returns the node's incarnation number: 0 for the handler built by
+// AddNode, incremented by each ReplaceHandler. DeliverRule installations
+// that target one incarnation capture this at install time and stand down
+// when it changes, so a restarted replica is not fed messages mutated for
+// its previous life.
+func (n *Network) Epoch(id types.ReplicaID) uint32 {
+	if st := n.node(id); st != nil {
+		return st.epoch
+	}
+	return 0
 }
 
 // --- Env implementation (per node) ---
@@ -536,6 +562,14 @@ func (n *Network) stepEvent(ev event) bool {
 	}
 	switch ev.kind {
 	case evDeliver:
+		if n.DeliverRule != nil {
+			m := n.DeliverRule(ev.from, ev.to, ev.msg)
+			if m == nil {
+				n.Dropped++
+				return false
+			}
+			ev.msg = m
+		}
 		done := start + n.cfg.Cost.recvCost(ev.msg)
 		st.busyUntil = done
 		st.now = done

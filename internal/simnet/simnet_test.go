@@ -241,6 +241,129 @@ func TestRunStopsAtDeadline(t *testing.T) {
 	}
 }
 
+func TestDeliverRuleRewritesAndDrops(t *testing.T) {
+	net, recs := build(Config{Latency: latency.Fixed(time.Millisecond), Seed: 1}, 2)
+	net.DeliverRule = func(from, to types.ReplicaID, msg Message) Message {
+		if s, ok := msg.(string); ok {
+			switch s {
+			case "rewrite-me":
+				return "rewritten"
+			case "swallow-me":
+				return nil
+			}
+		}
+		return msg
+	}
+	net.Inject(1, 1, "kick", 0)
+	recs[0].onMsg = func(types.ReplicaID, Message) {
+		recs[0].env.Send(2, "rewrite-me")
+		recs[0].env.Send(2, "swallow-me")
+		recs[0].env.Send(2, "untouched")
+	}
+	dropped := net.Dropped
+	net.RunUntilQuiet(time.Minute)
+	want := []string{"rewritten", "untouched"}
+	if len(recs[1].events) != 2 || recs[1].events[0] != want[0] || recs[1].events[1] != want[1] {
+		t.Fatalf("node 2 events = %v, want %v", recs[1].events, want)
+	}
+	if net.Dropped != dropped+1 {
+		t.Fatalf("Dropped = %d, want %d (swallowed delivery counted)", net.Dropped, dropped+1)
+	}
+}
+
+// TestDeliverRuleSeesInFlightMessages pins the delivery-time semantics
+// that distinguish DeliverRule from DropRule: a rule installed while a
+// message is already in flight still intercepts it.
+func TestDeliverRuleSeesInFlightMessages(t *testing.T) {
+	net, recs := build(Config{Latency: latency.Fixed(100 * time.Millisecond), Seed: 1}, 2)
+	net.Inject(1, 1, "kick", 0)
+	recs[0].onMsg = func(types.ReplicaID, Message) {
+		recs[0].env.Send(2, "in-flight")
+	}
+	net.Run(50 * time.Millisecond) // message sent, not yet delivered
+	net.DeliverRule = func(_, _ types.ReplicaID, msg Message) Message {
+		if msg == "in-flight" {
+			return "intercepted"
+		}
+		return msg
+	}
+	net.RunUntilQuiet(time.Minute)
+	if len(recs[1].events) != 1 || recs[1].events[0] != "intercepted" {
+		t.Fatalf("node 2 events = %v, want [intercepted]", recs[1].events)
+	}
+}
+
+// TestDeliverRuleEpochScoping is the restart-vs-injection interaction the
+// conformance harness depends on: a rule mutating messages for one
+// incarnation of a node must stand down once ReplaceHandler restarts it,
+// so the fresh incarnation never sees mutations aimed at its previous
+// life. Epoch is the handle that makes the rule self-limiting.
+func TestDeliverRuleEpochScoping(t *testing.T) {
+	net, recs := build(Config{Latency: latency.Fixed(10 * time.Millisecond), Seed: 1}, 2)
+	const victim = types.ReplicaID(1)
+	if got := net.Epoch(victim); got != 0 {
+		t.Fatalf("fresh node epoch = %d, want 0", got)
+	}
+	// The rule captures the victim's epoch at install time and mutates
+	// only deliveries to that incarnation.
+	installEpoch := net.Epoch(victim)
+	mutated := 0
+	net.DeliverRule = func(_, to types.ReplicaID, msg Message) Message {
+		if to == victim && net.Epoch(victim) == installEpoch {
+			if s, ok := msg.(string); ok {
+				mutated++
+				return "mutated:" + s
+			}
+		}
+		return msg
+	}
+	net.Inject(2, victim, "pre-restart", 0)
+	net.Run(50 * time.Millisecond)
+	if len(recs[0].events) != 1 || recs[0].events[0] != "mutated:pre-restart" {
+		t.Fatalf("pre-restart events = %v, want [mutated:pre-restart]", recs[0].events)
+	}
+
+	// Restart the victim with a message already in flight: it was sent at
+	// the old incarnation but must arrive unmutated at the new one.
+	net.Inject(2, victim, "in-flight", 5*time.Millisecond)
+	var restarted *recorder
+	net.ReplaceHandler(victim, func(env Env) Handler {
+		restarted = &recorder{env: env}
+		return restarted
+	})
+	if got := net.Epoch(victim); got != installEpoch+1 {
+		t.Fatalf("post-restart epoch = %d, want %d", got, installEpoch+1)
+	}
+	net.Inject(2, victim, "post-restart", 10*time.Millisecond)
+	net.RunUntilQuiet(time.Minute)
+
+	want := []string{"in-flight", "post-restart"}
+	if len(restarted.events) != 2 || restarted.events[0] != want[0] || restarted.events[1] != want[1] {
+		t.Fatalf("restarted node events = %v, want %v (no stale-epoch mutations)", restarted.events, want)
+	}
+	if mutated != 1 {
+		t.Fatalf("mutated %d deliveries, want 1 (pre-restart only)", mutated)
+	}
+}
+
+// TestDeliverRuleForcesSequential pins the parallel-window guard: with a
+// DeliverRule installed the simulator must not enter window execution
+// (the rule needs delivery order), and removing the rule re-enables it.
+func TestDeliverRuleForcesSequential(t *testing.T) {
+	net, _ := build(Config{Latency: latency.Fixed(10 * time.Millisecond), Seed: 1}, 5)
+	if !net.parallelOK() {
+		t.Skip("parallel windows unavailable in this configuration")
+	}
+	net.DeliverRule = func(_, _ types.ReplicaID, msg Message) Message { return msg }
+	if net.parallelOK() {
+		t.Fatal("parallelOK with DeliverRule installed")
+	}
+	net.DeliverRule = nil
+	if !net.parallelOK() {
+		t.Fatal("parallelOK not restored after removing DeliverRule")
+	}
+}
+
 // TestReplaceHandlerRestartsNode pins restart semantics: the fresh
 // handler receives new traffic, timers armed by the old incarnation are
 // dropped, and timers armed by the new incarnation fire.

@@ -105,8 +105,22 @@ type Config struct {
 	Listen string
 	// Peers maps every replica ID to its dialable address.
 	Peers map[types.ReplicaID]string
-	// DialBackoff bounds reconnect pacing (default 500 ms).
+	// DialBackoff bounds reconnect pacing: it is both the dial timeout of
+	// a single connection attempt and the cap on the retry backoff
+	// schedule (default 500 ms).
 	DialBackoff time.Duration
+	// SendAttempts bounds how many delivery attempts one Send makes
+	// before dropping the message (default 3). Each failed attempt drops
+	// the cached connection and redials after a jittered backoff.
+	SendAttempts int
+	// SendBackoff is the initial backoff between send attempts (default
+	// 20 ms). It doubles per retry, capped at DialBackoff, with full
+	// jitter so restarting peers are not hammered in lockstep.
+	SendBackoff time.Duration
+	// WriteTimeout is the per-attempt write deadline (default 2 s): a
+	// peer that accepted the connection but stopped reading fails the
+	// attempt instead of wedging the event loop forever.
+	WriteTimeout time.Duration
 	// QueueSize bounds the event queue (default 65536).
 	QueueSize int
 }
@@ -133,6 +147,11 @@ type Node struct {
 
 	rng *rand.Rand
 
+	// jmu guards jrng: backoff jitter is drawn from Send, which unlike
+	// Rand may run on several goroutines (event loop, clients, tests).
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
 	// Stats
 	Sent     int64
 	Received int64
@@ -149,10 +168,22 @@ var _ simnet.Env = (*Node)(nil)
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("transport: node closed")
 
+// ErrUnknownPeer marks sends to replica IDs absent from Config.Peers.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
 // NewNode creates the node; call SetHandler then Serve.
 func NewNode(cfg Config) *Node {
 	if cfg.DialBackoff == 0 {
 		cfg.DialBackoff = 500 * time.Millisecond
+	}
+	if cfg.SendAttempts == 0 {
+		cfg.SendAttempts = 3
+	}
+	if cfg.SendBackoff == 0 {
+		cfg.SendBackoff = 20 * time.Millisecond
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 2 * time.Second
 	}
 	if cfg.QueueSize == 0 {
 		cfg.QueueSize = 1 << 16
@@ -165,6 +196,7 @@ func NewNode(cfg Config) *Node {
 		inbound: make(map[net.Conn]struct{}),
 		timers:  make(map[simnet.TimerID]*time.Timer),
 		rng:     rand.New(rand.NewSource(int64(cfg.Self) * 7919)),
+		jrng:    rand.New(rand.NewSource(int64(cfg.Self)*104729 + 13)),
 	}
 }
 
@@ -181,38 +213,68 @@ func (n *Node) Now() time.Duration { return time.Since(n.start) }
 func (n *Node) Rand() *rand.Rand { return n.rng }
 
 // Send implements simnet.Env: enqueue for the peer, dialing lazily. Self
-// sends loop back through the event queue. A send that fails on a cached
-// connection is retried once over a fresh dial: a peer that crashed and
-// restarted leaves half-dead connections behind, and the first write is
-// how we find out — without the retry, one-shot responses (catch-up,
-// store sync) to a freshly restarted peer are silently lost.
+// sends loop back through the event queue. Failed attempts — dead cached
+// connections and failed dials alike — are retried up to
+// Config.SendAttempts times with exponential backoff and full jitter,
+// each attempt under its own write deadline: a peer that crashed and
+// restarted leaves half-dead connections behind and a brief listener
+// gap, and the first write (or dial) is how we find out. Without the
+// retries, one-shot responses (catch-up, store sync) to a restarting
+// peer are silently lost. After the attempt budget the message is
+// dropped; the protocols tolerate loss via quorums.
 func (n *Node) Send(to types.ReplicaID, msg simnet.Message) {
 	if to == n.cfg.Self {
 		n.enqueue(event{kind: 1, from: to, msg: msg})
 		return
 	}
-	for attempt := 0; attempt < 2; attempt++ {
-		pc, err := n.peer(to)
-		if err != nil {
-			return // unreachable peer: the protocols tolerate loss via quorums
-		}
-		pc.mu.Lock()
-		if pc.enc == nil {
-			pc.mu.Unlock()
+	backoff := n.cfg.SendBackoff
+	for attempt := 0; ; attempt++ {
+		ok, retry := n.trySend(to, msg)
+		if ok {
+			n.Sent++
 			return
 		}
-		err = pc.enc.Encode(envelope{From: n.cfg.Self, Msg: msg})
-		if err != nil {
-			pc.conn.Close()
-			pc.enc = nil
-			pc.mu.Unlock()
-			n.dropPeer(to)
-			continue // redial once; a second failure drops the message
+		if !retry || attempt+1 >= n.cfg.SendAttempts {
+			return
 		}
-		pc.mu.Unlock()
-		n.Sent++
-		return
+		n.jmu.Lock()
+		jittered := backoff/2 + time.Duration(n.jrng.Int63n(int64(backoff/2)+1))
+		n.jmu.Unlock()
+		time.Sleep(jittered)
+		if backoff *= 2; backoff > n.cfg.DialBackoff {
+			backoff = n.cfg.DialBackoff
+		}
 	}
+}
+
+// trySend makes one delivery attempt. retry reports whether another
+// attempt could help: dial failures and connections that die mid-write
+// are retryable, a closed node or unknown peer is not.
+func (n *Node) trySend(to types.ReplicaID, msg simnet.Message) (ok, retry bool) {
+	pc, err := n.peer(to)
+	if err != nil {
+		return false, !errors.Is(err, ErrClosed) && !errors.Is(err, ErrUnknownPeer)
+	}
+	pc.mu.Lock()
+	if pc.enc == nil {
+		// Lost a race with a concurrent failed send; redial fresh.
+		pc.mu.Unlock()
+		return false, true
+	}
+	if n.cfg.WriteTimeout > 0 {
+		pc.conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	}
+	err = pc.enc.Encode(envelope{From: n.cfg.Self, Msg: msg})
+	if err != nil {
+		pc.conn.Close()
+		pc.enc = nil
+		pc.mu.Unlock()
+		n.dropPeer(to)
+		return false, true
+	}
+	pc.conn.SetWriteDeadline(time.Time{})
+	pc.mu.Unlock()
+	return true, false
 }
 
 // SetTimer implements simnet.Env with a real timer feeding the loop.
@@ -350,7 +412,7 @@ func (n *Node) peer(to types.ReplicaID) (*peerConn, error) {
 	addr, ok := n.cfg.Peers[to]
 	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %v", to)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
 	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialBackoff)
 	if err != nil {

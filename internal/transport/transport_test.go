@@ -137,6 +137,120 @@ func TestTCPSelfSend(t *testing.T) {
 	t.Fatalf("self send failed: %v", h.snapshot())
 }
 
+// TestSendRetriesThroughListenerGap is the flaky-listener case the
+// backoff exists for: the peer's listener is down when the send starts
+// (a restarting process between close and re-listen) and comes up only
+// after the first dial attempts have failed. The message must survive
+// the gap instead of being dropped on the first refused dial.
+func TestSendRetriesThroughListenerGap(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 2)
+	peers := map[types.ReplicaID]string{1: addrs[0], 2: addrs[1]}
+	n := NewNode(Config{
+		Self: 1, Listen: addrs[0], Peers: peers,
+		SendAttempts: 6, SendBackoff: 15 * time.Millisecond,
+	})
+	n.SetHandler(&echoHandler{node: n})
+	go func() { _ = n.Serve() }()
+	defer n.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	got := make(chan string, 1)
+	go func() {
+		time.Sleep(60 * time.Millisecond) // the gap: dials until now are refused
+		ln, err := net.Listen("tcp", addrs[1])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer ln.Close()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var env envelope
+		if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+			return
+		}
+		if p, ok := env.Msg.(*ping); ok {
+			got <- p.Text
+		}
+	}()
+
+	start := time.Now()
+	n.Send(2, &ping{Text: "late"})
+	select {
+	case text := <-got:
+		if text != "late" {
+			t.Fatalf("received %q, want %q", text, "late")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message dropped through the listener gap")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("send finished in %v, before the listener existed", elapsed)
+	}
+}
+
+// TestSendBoundedRetryBudget pins that the backoff is bounded: a peer
+// that never comes up costs a few attempts with backoff in between, not
+// a hang, and the send is reported as not delivered.
+func TestSendBoundedRetryBudget(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 2) // addrs[1] never listens
+	peers := map[types.ReplicaID]string{1: addrs[0], 2: addrs[1]}
+	n := NewNode(Config{
+		Self: 1, Listen: addrs[0], Peers: peers,
+		SendAttempts: 3, SendBackoff: 20 * time.Millisecond,
+	})
+	n.SetHandler(&echoHandler{node: n})
+	go func() { _ = n.Serve() }()
+	defer n.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	n.Send(2, &ping{Text: "doomed"})
+	elapsed := time.Since(start)
+	if n.Sent != 0 {
+		t.Fatal("send to a dead peer reported as delivered")
+	}
+	// Two backoff sleeps (attempts 1→2, 2→3) with full jitter: at least
+	// backoff/2 + backoff each ≥ 30 ms total; far below the unbounded
+	// case either way.
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("gave up after %v without backing off", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry budget unbounded: %v", elapsed)
+	}
+}
+
+// TestSendUnknownPeerFailsFast pins that retries apply only to
+// potentially transient failures: an ID with no address is dropped
+// immediately, without burning the backoff budget.
+func TestSendUnknownPeerFailsFast(t *testing.T) {
+	RegisterWireTypes()
+	registerTestTypes()
+	addrs := freePorts(t, 1)
+	n := NewNode(Config{Self: 1, Listen: addrs[0], Peers: map[types.ReplicaID]string{}})
+	n.SetHandler(&echoHandler{node: n})
+	go func() { _ = n.Serve() }()
+	defer n.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	n.Send(99, &ping{Text: "nowhere"})
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("unknown-peer send took %v, want immediate drop", elapsed)
+	}
+	if n.Sent != 0 {
+		t.Fatal("unknown-peer send reported as delivered")
+	}
+}
+
 var registerOnce sync.Once
 
 // registerTestTypes registers the test-only ping/pong frames exactly once

@@ -1,0 +1,47 @@
+// Command confrun runs every registered conformance campaign at a given
+// committee size and seed and fails on any invariant violation. It is
+// the nightly seed-matrix driver: CI loops it over a fixed set of seeds,
+// and a failing seed reproduces identically anywhere with
+//
+//	go run ./tools/confrun -n 9 -seed <seed>
+//
+// Use -campaign to run a single campaign, e.g. while minimizing a
+// failure the fuzzer found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/zeroloss/zlb/internal/conformance"
+)
+
+func main() {
+	n := flag.Int("n", 9, "committee size")
+	seed := flag.Int64("seed", 42, "cluster seed")
+	campaign := flag.String("campaign", "", "run only this campaign (default: all)")
+	flag.Parse()
+
+	names := conformance.Names()
+	if *campaign != "" {
+		names = []string{*campaign}
+	}
+
+	failed := false
+	for _, name := range names {
+		res, err := conformance.Run(name, *n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "confrun: %s n=%d seed=%d: %v\n", name, *n, *seed, err)
+			failed = true
+			continue
+		}
+		fmt.Print(res.Format())
+		if len(res.Violations) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

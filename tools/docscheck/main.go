@@ -30,6 +30,7 @@ var readmeRequired = []string{
 	"internal/scenario",
 	"internal/store",
 	"internal/pipeline",
+	"internal/conformance",
 }
 
 func main() {
