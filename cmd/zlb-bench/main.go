@@ -13,6 +13,7 @@
 //	zlb-bench -experiment fig6          # minimum finalization blockdepth
 //	zlb-bench -experiment appendixB     # §B worked analysis
 //	zlb-bench -experiment scenarios     # staged multi-phase fault campaigns
+//	zlb-bench -experiment load          # open-loop latency-percentile campaigns
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, scenarios, all)")
+	experiment := flag.String("experiment", "all", "which experiment to run (fig3, fig4top, fig4bottom, catastrophic, table1, fig5, catchup, fig6, appendixB, scenarios, load, all)")
 	full := flag.Bool("full", false, "paper-scale sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	jsonDir := flag.String("json", "", "also emit machine-readable BENCH_<experiment>.json files into this directory")
@@ -216,6 +217,22 @@ func run(experiment string, full bool, seed int64, jsonDir string, sequential, s
 		}
 		bench.PrintScenarios(os.Stdout, results)
 		if err := emit("scenarios", results); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || experiment == "load" {
+		ran = true
+		nsLoad := []int{9}
+		if full {
+			nsLoad = []int{9, 18}
+		}
+		results, err := bench.RunLoadCampaigns(nsLoad, seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintLoad(os.Stdout, results)
+		if err := emit("load", results); err != nil {
 			return err
 		}
 		fmt.Println()

@@ -62,6 +62,14 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 16, "blocks between UTXO checkpoints")
 	sync := flag.Bool("sync", false, "bootstrap an empty -data-dir from peers (checkpoint + log tail) before joining")
 	sequential := flag.Bool("sequential", false, "disable the multi-core commit pipeline (verify and apply inline)")
+	poolMax := flag.Int("mempool-max", 0, "mempool admission: max pending transactions (0 = unlimited)")
+	poolMaxBytes := flag.Int64("mempool-max-bytes", 0, "mempool admission: max pending canonical bytes (0 = unlimited)")
+	poolAcctCap := flag.Int("mempool-account-cap", 0, "mempool admission: max pending transactions per sender (0 = unlimited)")
+	poolRate := flag.Int("mempool-rate", 0, "mempool admission: max admissions per sender per rate window (0 = unlimited)")
+	poolRateWindow := flag.Duration("mempool-rate-window", time.Second, "mempool admission: rate-limit window")
+	poolMinFee := flag.Uint64("mempool-min-fee", 0, "mempool admission: reject transactions below this fee")
+	poolPriority := flag.Bool("mempool-priority", false, "mempool admission: batch by fee rate instead of arrival order")
+	poolReplaceBump := flag.Int("mempool-replace-bump", 0, "mempool admission: replacement-by-fee bump percentage (0 = replacement off)")
 	flag.Parse()
 
 	if *id == 0 || *listen == "" || *peersFlag == "" {
@@ -83,7 +91,17 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		Sync:            *sync,
 		Sequential:      *sequential,
-		Logf:            log.Printf,
+		Mempool: mempool.Policy{
+			MaxTxs:         *poolMax,
+			MaxBytes:       *poolMaxBytes,
+			MaxPerAccount:  *poolAcctCap,
+			RatePerAccount: *poolRate,
+			RateWindow:     *poolRateWindow,
+			MinFee:         types.Amount(*poolMinFee),
+			ReplaceBumpPct: *poolReplaceBump,
+			PriorityOrder:  *poolPriority,
+		},
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -144,6 +162,10 @@ type nodeConfig struct {
 	// transaction signatures and block application run inline on the
 	// event loop. The chain is bit-identical either way.
 	Sequential bool
+	// Mempool is the admission policy the replica's pool enforces (zero
+	// value = permissive arrival-order queueing). Rate windows run on
+	// wall time since process start.
+	Mempool mempool.Policy
 	// SyncTimeout bounds the bootstrap wait for peer responses (default 5s).
 	SyncTimeout time.Duration
 	Logf        func(format string, args ...any)
@@ -206,13 +228,17 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		peers[types.ReplicaID(i+1)] = cfg.Peers[i]
 	}
 
+	start := time.Now()
 	rn := &replicaNode{
 		cfg:       cfg,
-		pool:      mempool.New(),
+		pool:      mempool.NewWithPolicy(cfg.Mempool),
 		batches:   wire.NewBatchCache(0),
 		syncResps: make(map[types.ReplicaID]*wire.SyncResp),
 		served:    make(chan struct{}),
 	}
+	// Rate-limit windows run on wall time since process start (a real
+	// deployment has no virtual clock to share).
+	rn.pool.SetClock(func() time.Duration { return time.Since(start) })
 	if !cfg.Sequential {
 		rn.certs = pipeline.NewVerifier(pipeline.Shared())
 	}
@@ -369,6 +395,10 @@ func (rn *replicaNode) persist(b *bm.Block, attempt uint32, merge bool) {
 	}
 	if err == nil && rn.st.ShouldCheckpoint() {
 		err = rn.st.WriteCheckpoint(rn.ledger.CheckpointState())
+		if err == nil {
+			// The checkpoint bounds the committed-transaction dedup set.
+			rn.pool.TrimCommitted()
+		}
 	}
 	if err == nil {
 		err = rn.st.Flush()
@@ -534,9 +564,11 @@ func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
 		if m.Tx == nil {
 			return
 		}
-		if h.rn.pool.Add(m.Tx) {
+		if err := h.rn.pool.Add(m.Tx); err == nil {
 			h.rn.replica.Kick()
 			h.rn.cfg.Logf("tx %v enqueued (mempool %d)", m.Tx.ID(), h.rn.pool.Len())
+		} else {
+			h.rn.cfg.Logf("tx %v rejected: %v", m.Tx.ID(), err)
 		}
 	case *transport.SyncFrame:
 		h.rn.onSyncFrame(from, m)

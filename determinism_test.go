@@ -13,6 +13,7 @@ import (
 	"github.com/zeroloss/zlb"
 	"github.com/zeroloss/zlb/internal/bench"
 	"github.com/zeroloss/zlb/internal/harness"
+	"github.com/zeroloss/zlb/internal/load"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/scenario"
 )
@@ -149,6 +150,62 @@ func TestScenarioGoldens(t *testing.T) {
 			}
 			if first != string(want) {
 				t.Errorf("per-phase metrics diverged from golden:\n--- got\n%s--- want\n%s", first, want)
+			}
+		})
+	}
+}
+
+// runLoadCampaign executes one registered open-loop campaign at n=9,
+// seed 42 and returns its formatted report, optionally forcing the
+// sequential simulation loop on every variant.
+func runLoadCampaign(t *testing.T, name string, seqSim bool) string {
+	t.Helper()
+	c, err := load.BuildCampaign(name, 9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Variants {
+		c.Variants[i].Config.SequentialSim = seqSim
+	}
+	res, err := load.RunCampaign(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Format()
+}
+
+// TestLoadGoldens pins, for every registered open-loop load campaign,
+// the fixed-seed latency-percentile report at n=9, seed 42: per-phase
+// p50/p99/p999 per class, admission verdict counts, chain height and
+// pool occupancy. Each campaign runs twice: the runs must be
+// bit-identical and match the golden under testdata/scenario_goldens/.
+// Regenerate after an intended change with
+// `go test -run TestLoadGoldens -update`.
+func TestLoadGoldens(t *testing.T) {
+	for _, name := range load.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first := runLoadCampaign(t, name, false)
+			second := runLoadCampaign(t, name, false)
+			if first != second {
+				t.Fatalf("two fixed-seed runs differ:\n--- run 1\n%s--- run 2\n%s", first, second)
+			}
+			goldenPath := filepath.Join("testdata", "scenario_goldens", "load-"+name+".golden")
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(first), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if first != string(want) {
+				t.Errorf("latency report diverged from golden:\n--- got\n%s--- want\n%s", first, want)
 			}
 		})
 	}
@@ -311,8 +368,9 @@ func fig3Fingerprint(t *testing.T, seqSim bool) string {
 }
 
 // TestParallelSimnetBitIdentical is the parallel simulator's determinism
-// contract at the system level: every registered scenario campaign plus
-// the fig3 ZLB point at n=30 must produce bit-identical goldens, final
+// contract at the system level: every registered scenario campaign,
+// every registered open-loop load campaign and the fig3 ZLB point at
+// n=30 must produce bit-identical goldens, final
 // clocks, event counts and chain digests under the sequential loop
 // (SequentialSim) and under conservative parallel windows at
 // GOMAXPROCS=1 and GOMAXPROCS=4. The nightly workflow re-runs it under
@@ -353,6 +411,22 @@ func TestParallelSimnetBitIdentical(t *testing.T) {
 					}
 					return res.Format()
 				})
+				if i == 0 {
+					ref = got
+					continue
+				}
+				if got != ref {
+					t.Errorf("%s diverged from %s:\n--- got\n%s--- want\n%s", m.name, modes[0].name, got, ref)
+				}
+			}
+		})
+	}
+	for _, name := range load.Names() {
+		name := name
+		t.Run("load/"+name, func(t *testing.T) {
+			var ref string
+			for i, m := range modes {
+				got := runMode(t, m.maxprocs, func() string { return runLoadCampaign(t, name, m.seqSim) })
 				if i == 0 {
 					ref = got
 					continue

@@ -266,6 +266,14 @@ func (r *Replica) View() *committee.View { return r.view }
 // Log exposes the accountability log (read-only use).
 func (r *Replica) Log() *accountability.Log { return r.log }
 
+// Now returns the replica's virtual clock — the per-event time of its
+// simulation environment. Application callbacks (OnCommit and friends)
+// must timestamp with this, not with the global simulator clock: under
+// conservative-parallel windows the global clock can sit anywhere in the
+// window while an event runs, whereas the event time is bit-identical
+// across execution modes.
+func (r *Replica) Now() time.Duration { return r.cfg.Env.Now() }
+
 // Epoch returns the number of completed membership changes.
 func (r *Replica) Epoch() uint64 { return r.epoch }
 

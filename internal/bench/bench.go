@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/adversary"
@@ -16,6 +17,7 @@ import (
 	"github.com/zeroloss/zlb/internal/harness"
 	"github.com/zeroloss/zlb/internal/hotstuff"
 	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/load"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
 )
@@ -64,7 +66,11 @@ func costModelSend(sigFactor float64, sendBase time.Duration) simnet.CostModel {
 // deterministic for a fixed seed, bit-identical across every execution
 // mode, and what the perf gate compares. WallSec is the real elapsed time
 // of the point's simulation (informational only: it depends on the
-// runner, GOMAXPROCS and the simulation mode).
+// runner, GOMAXPROCS and the simulation mode). P50Ms/P99Ms are the
+// nearest-rank percentiles of the gaps between successive commits at the
+// measuring replica, in virtual milliseconds — deterministic like
+// TxPerSec, but informational in the gate (baselines written before the
+// fields existed render a dash).
 type Fig3Point struct {
 	System     System
 	N          int
@@ -72,6 +78,8 @@ type Fig3Point struct {
 	Instances  int
 	VirtualSec float64
 	WallSec    float64
+	P50Ms      float64 `json:"p50_ms,omitempty"`
+	P99Ms      float64 `json:"p99_ms,omitempty"`
 }
 
 // Fig3Config parameterizes the throughput comparison.
@@ -191,6 +199,7 @@ func runFig3Point(sys System, n int, instances uint64, seed int64, sequential, s
 	tx := 0
 	honest := c.HonestMembers()
 	var last time.Duration
+	ats := make([]time.Duration, 0, len(c.Commits[honest[0]]))
 	for _, commit := range c.Commits[honest[0]] {
 		perProposal := BatchTxs
 		for range commit.Decision.Proposals {
@@ -199,12 +208,33 @@ func runFig3Point(sys System, n int, instances uint64, seed int64, sequential, s
 		if commit.At > last {
 			last = commit.At
 		}
+		ats = append(ats, commit.At)
 	}
 	tps := 0.0
 	if last > 0 {
 		tps = float64(tx) / last.Seconds()
 	}
-	return Fig3Point{System: sys, N: n, TxPerSec: tps, Instances: committed, VirtualSec: last.Seconds(), WallSec: wall}, nil
+	p50, p99 := commitGapPercentiles(ats)
+	return Fig3Point{System: sys, N: n, TxPerSec: tps, Instances: committed, VirtualSec: last.Seconds(), WallSec: wall, P50Ms: p50, P99Ms: p99}, nil
+}
+
+// commitGapPercentiles reduces the measuring replica's commit times to
+// the nearest-rank p50/p99 of the gaps between successive commits, in
+// virtual milliseconds. Like TxPerSec this is a pure virtual-time
+// metric: deterministic for a fixed seed, so a change in the JSON points
+// is always a real protocol or commit-path change.
+func commitGapPercentiles(ats []time.Duration) (p50, p99 float64) {
+	if len(ats) < 2 {
+		return 0, 0
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	gaps := make([]time.Duration, 0, len(ats)-1)
+	for i := 1; i < len(ats); i++ {
+		gaps = append(gaps, ats[i]-ats[i-1])
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return ms(load.Percentile(gaps, 0.50)), ms(load.Percentile(gaps, 0.99))
 }
 
 func runFig3HotStuff(n int, instances uint64, seed int64, sequentialSim bool) (Fig3Point, error) {
@@ -295,17 +325,20 @@ func runFig3HotStuff(n int, instances uint64, seed int64, sequentialSim bool) (F
 	}
 	tx := 0
 	var lastAt time.Duration
+	ats := make([]time.Duration, 0, len(recs))
 	for _, r := range recs {
 		tx += r.txs
 		if r.at > lastAt {
 			lastAt = r.at
 		}
+		ats = append(ats, r.at)
 	}
 	tps := 0.0
 	if lastAt > 0 {
 		tps = float64(tx) / lastAt.Seconds()
 	}
-	return Fig3Point{System: SystemHotStuff, N: n, TxPerSec: tps, Instances: len(recs), VirtualSec: lastAt.Seconds(), WallSec: wall}, nil
+	p50, p99 := commitGapPercentiles(ats)
+	return Fig3Point{System: SystemHotStuff, N: n, TxPerSec: tps, Instances: len(recs), VirtualSec: lastAt.Seconds(), WallSec: wall, P50Ms: p50, P99Ms: p99}, nil
 }
 
 // DelaySpec names a partition-delay model of Figures 4-6.

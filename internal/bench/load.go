@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/zeroloss/zlb/internal/load"
+)
+
+// RunLoadCampaigns runs every registered open-loop load campaign
+// (internal/load) at each committee size. Results are ordered by
+// committee size, then registration order — the deterministic layout
+// `zlb-bench -experiment load` and the goldens in determinism_test.go
+// rely on.
+func RunLoadCampaigns(ns []int, seed int64) ([]*load.CampaignResult, error) {
+	var out []*load.CampaignResult
+	for _, n := range ns {
+		for _, name := range load.Names() {
+			c, err := load.BuildCampaign(name, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := load.RunCampaign(c)
+			if err != nil {
+				return nil, fmt.Errorf("load %s n=%d: %w", name, n, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// PrintLoad writes each campaign's per-phase latency-percentile tables.
+func PrintLoad(w io.Writer, results []*load.CampaignResult) {
+	fmt.Fprintln(w, "# Open-loop load: submit-to-commit latency percentiles under admission control")
+	for _, r := range results {
+		fmt.Fprintln(w)
+		if r.Description != "" {
+			fmt.Fprintf(w, "## %s — %s\n", r.Name, r.Description)
+		}
+		fmt.Fprint(w, r.Format())
+	}
+}

@@ -1,0 +1,127 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/mempool"
+)
+
+// smallConfig is a fast two-phase run for unit tests.
+func smallConfig(policy mempool.Policy) Config {
+	return Config{
+		Name: "unit",
+		N:    4,
+		Seed: 7,
+		Classes: []Class{
+			{Name: "a", Accounts: 2, Fee: 5},
+			{Name: "b", Accounts: 2, Fee: 1},
+		},
+		Phases: []PhaseSpec{
+			{Name: "p1", Duration: time.Second, Rates: []float64{20, 20}},
+			{Name: "p2", Duration: time.Second, Rates: []float64{20, 0}},
+		},
+		Policy:   policy,
+		BatchTxs: 50,
+		Drain:    10 * time.Second,
+	}
+}
+
+// TestRunDeterministic pins that two identical runs produce
+// byte-identical reports and that the basic accounting adds up.
+func TestRunDeterministic(t *testing.T) {
+	policy := mempool.Policy{MaxTxs: 100, PriorityOrder: true, MinFee: 1}
+	r1, err := Run(smallConfig(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(smallConfig(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Format() != r2.Format() {
+		t.Fatalf("same config, different reports:\n--- run 1\n%s\n--- run 2\n%s", r1.Format(), r2.Format())
+	}
+	total := 0
+	for _, row := range r1.Rows {
+		rejects := 0
+		for _, n := range row.Rejected {
+			rejects += n
+		}
+		if row.Admitted+rejects != row.Submitted {
+			t.Errorf("%s/%s: admitted %d + rejected %d != submitted %d",
+				row.Phase, row.Class, row.Admitted, rejects, row.Submitted)
+		}
+		if row.Committed > row.Admitted {
+			t.Errorf("%s/%s: committed %d > admitted %d",
+				row.Phase, row.Class, row.Committed, row.Admitted)
+		}
+		total += row.Committed
+	}
+	if total == 0 {
+		t.Fatal("no transactions committed at all")
+	}
+	if r1.Height == 0 {
+		t.Fatal("no blocks committed")
+	}
+	for _, row := range r1.Rows {
+		if row.Committed > 0 && (row.P50 <= 0 || row.P99 < row.P50 || row.P999 < row.P99) {
+			t.Errorf("%s/%s: implausible percentiles p50=%v p99=%v p999=%v",
+				row.Phase, row.Class, row.P50, row.P99, row.P999)
+		}
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition.
+func TestPercentileNearestRank(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{0.999, 100 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	} {
+		if got := Percentile(ds, tc.q); got != tc.want {
+			t.Errorf("p%g of 1..100ms: got %v, want %v", tc.q*100, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty slice: got %v, want 0", got)
+	}
+	one := []time.Duration{42 * time.Millisecond}
+	if got := Percentile(one, 0.5); got != 42*time.Millisecond {
+		t.Errorf("single element: got %v", got)
+	}
+}
+
+// TestCampaignRegistry checks every registered campaign builds and the
+// registry rejects unknown names.
+func TestCampaignRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("registered campaigns: %v, want 3", names)
+	}
+	for _, name := range names {
+		c, err := BuildCampaign(name, 9, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Variants) == 0 {
+			t.Errorf("%s: no variants", name)
+		}
+		for _, v := range c.Variants {
+			if v.Config.N != 9 || v.Config.Seed != 42 {
+				t.Errorf("%s[%s]: n/seed not threaded through", name, v.Label)
+			}
+		}
+	}
+	if _, err := BuildCampaign("nope", 9, 42); err == nil {
+		t.Error("unknown campaign must error")
+	}
+}

@@ -1,115 +1,518 @@
-// Package mempool provides the indexed transaction pool every ZLB node
-// front-ends consensus with: an insertion-ordered queue with an O(1)
-// digest index for deduplication and a prune that relies on the
-// transactions' memoized IDs instead of re-hashing every entry. It
-// replaces the slice+map pair that used to be duplicated by the zlb
-// package and cmd/zlb-node.
+// Package mempool provides the admission-controlled transaction pool
+// every ZLB node front-ends consensus with — the ingress edge between
+// untrusted client traffic and the consensus batch source.
+//
+// The pool keeps two deterministic views of the same pending set: the
+// arrival queue (insertion order, the paper's original workload) and a
+// priority index ordered by fee rate (fee per canonical byte), which
+// admission-controlled deployments batch from so paying traffic is never
+// stuck behind a spam flood. Admission is governed by a Policy:
+//
+//   - fee floor and fee-rate priority ordering,
+//   - per-account pending caps and per-account rate limits over a
+//     virtual-time window,
+//   - replacement-by-fee for a pending (sender, nonce) slot,
+//   - size-bounded eviction (transaction count and canonical bytes):
+//     when full, the lowest-priority entry is evicted iff the incoming
+//     transaction outranks it, otherwise the newcomer is rejected.
+//
+// Every decision is a pure function of the admission sequence and the
+// injected clock — nothing iterates a Go map to decide anything — so a
+// fixed-seed simulation produces bit-identical admissions, batches and
+// latency percentiles in every execution mode (the property tests in
+// policy_test.go and the root determinism suite pin this).
 //
 // The pool stores shared *utxo.Transaction pointers: in the simulated
 // deployment all replicas index the same transaction objects, so a digest
-// is computed once per transaction for the whole cluster.
+// is computed once per transaction for the whole cluster. All methods are
+// safe for concurrent use; the commit pipeline's preverify handoff races
+// Submit against the event loop's Take/Prune (see race_test.go).
 package mempool
 
 import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
 )
 
-// Pool is an indexed mempool. Not safe for concurrent use; the owning
-// node serializes access (the simulator is single-threaded, the TCP node
-// funnels everything through its event loop).
+// Policy parameterizes admission control. The zero value is fully
+// permissive: unlimited arrival-order queueing, exactly the pre-admission
+// pool (and the configuration the paper-workload goldens run under).
+type Policy struct {
+	// MaxTxs bounds the pending set by transaction count (0 = unlimited).
+	// When full, the lowest-priority entry is evicted if the incoming
+	// transaction outranks it; otherwise the incoming one is rejected
+	// with ErrPoolFull.
+	MaxTxs int
+	// MaxBytes bounds the pending set by total canonical encoding size
+	// (0 = unlimited). Same eviction rule as MaxTxs.
+	MaxBytes int64
+	// MaxPerAccount caps the pending transactions of one sender
+	// (0 = unlimited). Beyond it, Add fails with ErrAccountCap.
+	MaxPerAccount int
+	// RatePerAccount caps admissions per sender per RateWindow
+	// (0 = unlimited). Beyond it, Add fails with ErrRateLimited. The
+	// window position comes from the injected clock (SetClock); the
+	// count resets when the clock crosses a window boundary.
+	RatePerAccount int
+	// RateWindow is the rate-limit window (default 1s when
+	// RatePerAccount is set).
+	RateWindow time.Duration
+	// MinFee rejects transactions whose fee (input sum minus output sum)
+	// is below the floor, with ErrFeeTooLow.
+	MinFee types.Amount
+	// ReplaceBumpPct enables replacement-by-fee when positive: a pending
+	// (sender, nonce) slot is replaced iff the newcomer's fee is at
+	// least the incumbent's fee grown by this percentage; a smaller bump
+	// fails with ErrReplaceUnderpriced. Zero disables replacement: two
+	// transactions sharing a (sender, nonce) slot both queue, exactly
+	// like the permissive pool.
+	ReplaceBumpPct int
+	// PriorityOrder makes Take return transactions by descending fee
+	// rate (ties: higher fee, then arrival order) instead of arrival
+	// order.
+	PriorityOrder bool
+}
+
+// active reports whether any admission knob is set (the zero Policy
+// skips the priority index entirely, keeping the permissive pool's O(1)
+// append behavior).
+func (p Policy) active() bool {
+	return p.MaxTxs > 0 || p.MaxBytes > 0 || p.MaxPerAccount > 0 ||
+		p.RatePerAccount > 0 || p.MinFee > 0 || p.ReplaceBumpPct > 0 || p.PriorityOrder
+}
+
+// Typed admission verdicts. Callers branch with errors.Is.
+var (
+	// ErrDuplicate rejects a transaction already pending.
+	ErrDuplicate = errors.New("mempool: transaction already pending")
+	// ErrCommitted rejects a transaction that was committed in a block
+	// since the last checkpoint trim — re-proposing it would waste a
+	// consensus instance (the ledger would skip it anyway).
+	ErrCommitted = errors.New("mempool: transaction already committed")
+	// ErrAccountCap rejects a sender whose pending count is at the cap.
+	ErrAccountCap = errors.New("mempool: per-account pending cap reached")
+	// ErrRateLimited rejects a sender exceeding its admission rate.
+	ErrRateLimited = errors.New("mempool: per-account rate limit exceeded")
+	// ErrFeeTooLow rejects a fee below Policy.MinFee.
+	ErrFeeTooLow = errors.New("mempool: fee below admission floor")
+	// ErrPoolFull rejects a transaction that does not outrank the
+	// lowest-priority pending entry of a full pool.
+	ErrPoolFull = errors.New("mempool: pool full and fee below eviction floor")
+	// ErrReplaceUnderpriced rejects a replacement-by-fee whose bump is
+	// below Policy.ReplaceBumpPct.
+	ErrReplaceUnderpriced = errors.New("mempool: replacement fee bump too small")
+)
+
+// entry is one pending transaction with its memoized admission facts.
+type entry struct {
+	tx     *utxo.Transaction
+	id     types.Digest
+	sender utxo.Address
+	fee    types.Amount
+	size   int64
+	seq    uint64
+}
+
+// outranks is the pool's total priority order: higher fee rate first
+// (compared exactly by cross-multiplication, no float rounding), then
+// higher absolute fee, then earlier arrival. Strict for distinct entries,
+// so every sorted structure derived from it is deterministic.
+func (e *entry) outranks(o *entry) bool {
+	l, r := uint64(e.fee)*uint64(o.size), uint64(o.fee)*uint64(e.size)
+	if l != r {
+		return l > r
+	}
+	if e.fee != o.fee {
+		return e.fee > o.fee
+	}
+	return e.seq < o.seq
+}
+
+// slotKey identifies a (sender, nonce) slot for replacement-by-fee.
+type slotKey struct {
+	sender utxo.Address
+	nonce  uint64
+}
+
+// rateBucket is one sender's admission count in the current rate window.
+type rateBucket struct {
+	window int64
+	count  int
+}
+
+// Pool is the admission-controlled mempool. All methods are safe for
+// concurrent use.
 type Pool struct {
-	queue []*utxo.Transaction
-	// seen holds every digest ever added. Entries outlive pruning on
-	// purpose: clients broadcast to all replicas and may retry, and a
-	// transaction that already went through consensus must not re-enter
-	// the queue (the ledger also skips it, but re-proposing it would waste
-	// a consensus instance).
-	seen map[types.Digest]struct{}
-	// preverify, when set, observes every newly added transaction — the
-	// commit pipeline's handoff: transactions start signature
-	// verification on the worker pool the moment they enter the pool, so
-	// the batches Take hands to consensus are typically pre-verified by
-	// the time they commit.
+	mu     sync.Mutex
+	policy Policy
+	// clock supplies virtual (or wall) time for rate-limit windows; nil
+	// pins the window at zero, which makes RatePerAccount a cap on total
+	// admissions per sender.
+	clock func() time.Duration
+	// preverify, when set, observes every newly admitted transaction —
+	// the commit pipeline's handoff: transactions start signature
+	// verification on the worker pool the moment they enter the pool.
+	// Invoked outside the pool lock.
 	preverify func(*utxo.Transaction)
+
+	// pending indexes the queued entries by digest.
+	pending map[types.Digest]*entry
+	// queue is the arrival-order view.
+	queue []*entry
+	// prio is the priority-order view (best first), maintained only when
+	// the policy is active.
+	prio []*entry
+	// byAcct counts pending transactions per sender (active policy only).
+	byAcct map[utxo.Address]int
+	// bySlot indexes pending entries by (sender, nonce) for
+	// replacement-by-fee (maintained when ReplaceBumpPct > 0).
+	bySlot map[slotKey]*entry
+	// committed holds the digests of transactions pruned by committed
+	// blocks since the last TrimCommitted — the dedup set that makes
+	// re-submitting a committed transaction a typed error instead of a
+	// wasted consensus slot.
+	committed map[types.Digest]struct{}
+	// rates tracks per-sender admission counts per window.
+	rates map[utxo.Address]rateBucket
+
+	bytes     int64
+	seq       uint64
+	evictions uint64
 }
 
-// New creates an empty pool.
-func New() *Pool {
-	return &Pool{seen: make(map[types.Digest]struct{})}
+// New creates an empty pool with the permissive zero policy.
+func New() *Pool { return NewWithPolicy(Policy{}) }
+
+// NewWithPolicy creates an empty pool governed by the given policy.
+func NewWithPolicy(policy Policy) *Pool {
+	if policy.RatePerAccount > 0 && policy.RateWindow == 0 {
+		policy.RateWindow = time.Second
+	}
+	return &Pool{
+		policy:    policy,
+		pending:   make(map[types.Digest]*entry),
+		byAcct:    make(map[utxo.Address]int),
+		bySlot:    make(map[slotKey]*entry),
+		committed: make(map[types.Digest]struct{}),
+		rates:     make(map[utxo.Address]rateBucket),
+	}
 }
 
-// SetPreverify installs the pipeline handoff called once per distinct
-// transaction added (nil disables it — sequential mode).
-func (p *Pool) SetPreverify(fn func(*utxo.Transaction)) { p.preverify = fn }
+// Policy returns the pool's admission policy.
+func (p *Pool) Policy() Policy { return p.policy }
 
-// Add enqueues tx unless its digest was ever added before. It reports
-// whether the transaction was added.
+// SetPreverify installs the pipeline handoff called once per admitted
+// transaction (nil disables it — sequential mode).
+func (p *Pool) SetPreverify(fn func(*utxo.Transaction)) {
+	p.mu.Lock()
+	p.preverify = fn
+	p.mu.Unlock()
+}
+
+// SetClock injects the time source for rate-limit windows — the
+// simulator's virtual clock in simulated deployments, wall time since
+// start on a real node. Admission decisions then depend only on the
+// admission sequence and this clock, never on host scheduling.
+func (p *Pool) SetClock(fn func() time.Duration) {
+	p.mu.Lock()
+	p.clock = fn
+	p.mu.Unlock()
+}
+
+// Add runs the transaction through admission. It returns nil when the
+// transaction enters the pool and a typed error (ErrDuplicate,
+// ErrCommitted, ErrFeeTooLow, ErrReplaceUnderpriced, ErrRateLimited,
+// ErrAccountCap, ErrPoolFull) when it does not.
 //
 // Add warms every lazily memoized derived value (canonical encoding, ID,
 // signing digest) while the transaction is still owned by a single
 // goroutine: the pointer is about to be shared across all replicas'
 // pools, and with the parallel simulator several replicas may encode or
 // hash it concurrently. After Add, those accessors are read-only.
-func (p *Pool) Add(tx *utxo.Transaction) bool {
+func (p *Pool) Add(tx *utxo.Transaction) error {
 	id := tx.ID()
-	if _, dup := p.seen[id]; dup {
-		return false
+	p.mu.Lock()
+	if _, done := p.committed[id]; done {
+		p.mu.Unlock()
+		return ErrCommitted
 	}
-	// Warm the remaining memos only for transactions actually entering
-	// the pool (ID is already computed above); rejected duplicates are
+	if _, dup := p.pending[id]; dup {
+		p.mu.Unlock()
+		return ErrDuplicate
+	}
+	// Warm the remaining memos only for transactions passing the cheap
+	// dedup (ID is already computed above); rejected duplicates are
 	// dropped without paying the extra encode+hash.
 	tx.Canonical()
 	tx.SigDigest()
-	p.seen[id] = struct{}{}
-	p.queue = append(p.queue, tx)
-	if p.preverify != nil {
-		p.preverify(tx)
+	e := &entry{
+		tx:     tx,
+		id:     id,
+		sender: utxo.AddressOf(tx.Sender),
+		fee:    tx.Fee(),
+		size:   int64(tx.CanonicalSize()),
 	}
-	return true
+	if err := p.admit(e); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	fn := p.preverify
+	p.mu.Unlock()
+	if fn != nil {
+		fn(tx)
+	}
+	return nil
 }
 
-// Seen reports whether a transaction with the given digest was ever
-// added.
+// admit applies the policy and inserts the entry. Caller holds the lock.
+func (p *Pool) admit(e *entry) error {
+	pol := &p.policy
+	if !pol.active() {
+		// Permissive fast path: O(1) append, no priority index.
+		e.seq = p.seq
+		p.seq++
+		p.pending[e.id] = e
+		p.queue = append(p.queue, e)
+		p.bytes += e.size
+		return nil
+	}
+	if e.fee < pol.MinFee {
+		return ErrFeeTooLow
+	}
+	// Replacement-by-fee: a pending (sender, nonce) slot is an explicit
+	// replacement request, judged before caps (the incumbent is leaving,
+	// so the sender's pending count does not grow).
+	var replacing *entry
+	if pol.ReplaceBumpPct > 0 {
+		if inc, ok := p.bySlot[slotKey{sender: e.sender, nonce: e.tx.Nonce}]; ok {
+			// fee >= incumbent * (100 + bump) / 100, in exact integers.
+			if uint64(e.fee)*100 < uint64(inc.fee)*uint64(100+pol.ReplaceBumpPct) {
+				return ErrReplaceUnderpriced
+			}
+			replacing = inc
+		}
+	}
+	if pol.RatePerAccount > 0 {
+		var now time.Duration
+		if p.clock != nil {
+			now = p.clock()
+		}
+		window := int64(now / pol.RateWindow)
+		b := p.rates[e.sender]
+		if b.window != window {
+			b = rateBucket{window: window}
+		}
+		if b.count >= pol.RatePerAccount {
+			return ErrRateLimited
+		}
+		b.count++
+		defer func() { p.rates[e.sender] = b }()
+	}
+	if replacing == nil && pol.MaxPerAccount > 0 && p.byAcct[e.sender] >= pol.MaxPerAccount {
+		return ErrAccountCap
+	}
+	if replacing != nil {
+		p.remove(replacing)
+		p.evictions++
+	}
+	// Size-bounded eviction: shed lowest-priority entries while the pool
+	// would overflow, but only for a newcomer that outranks them.
+	for p.overflowWith(e) {
+		victim := p.prio[len(p.prio)-1]
+		if !e.outranks(victim) {
+			return ErrPoolFull
+		}
+		p.remove(victim)
+		p.evictions++
+	}
+	e.seq = p.seq
+	p.seq++
+	p.pending[e.id] = e
+	p.queue = append(p.queue, e)
+	p.insertPrio(e)
+	p.byAcct[e.sender]++
+	if pol.ReplaceBumpPct > 0 {
+		p.bySlot[slotKey{sender: e.sender, nonce: e.tx.Nonce}] = e
+	}
+	p.bytes += e.size
+	return nil
+}
+
+// overflowWith reports whether admitting e would exceed a capacity bound.
+// Caller holds the lock.
+func (p *Pool) overflowWith(e *entry) bool {
+	if len(p.prio) == 0 {
+		return false
+	}
+	if p.policy.MaxTxs > 0 && len(p.pending)+1 > p.policy.MaxTxs {
+		return true
+	}
+	return p.policy.MaxBytes > 0 && p.bytes+e.size > p.policy.MaxBytes
+}
+
+// insertPrio inserts e into the priority view (best first). Caller holds
+// the lock.
+func (p *Pool) insertPrio(e *entry) {
+	i := sort.Search(len(p.prio), func(i int) bool { return e.outranks(p.prio[i]) })
+	p.prio = append(p.prio, nil)
+	copy(p.prio[i+1:], p.prio[i:])
+	p.prio[i] = e
+}
+
+// remove drops a pending entry from every structure. Caller holds the
+// lock.
+func (p *Pool) remove(e *entry) {
+	delete(p.pending, e.id)
+	p.bytes -= e.size
+	p.byAcct[e.sender]--
+	if p.byAcct[e.sender] <= 0 {
+		delete(p.byAcct, e.sender)
+	}
+	key := slotKey{sender: e.sender, nonce: e.tx.Nonce}
+	if cur, ok := p.bySlot[key]; ok && cur == e {
+		delete(p.bySlot, key)
+	}
+	for i, q := range p.queue {
+		if q == e {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			break
+		}
+	}
+	// The priority order is strict, so binary search lands exactly on e.
+	i := sort.Search(len(p.prio), func(i int) bool { return !p.prio[i].outranks(e) })
+	if i < len(p.prio) && p.prio[i] == e {
+		p.prio = append(p.prio[:i], p.prio[i+1:]...)
+	}
+}
+
+// Seen reports whether a transaction with the given digest is pending or
+// was committed since the last checkpoint trim.
 func (p *Pool) Seen(id types.Digest) bool {
-	_, ok := p.seen[id]
-	return ok
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pending[id]; ok {
+		return true
+	}
+	_, done := p.committed[id]
+	return done
 }
 
 // Len returns the number of queued transactions.
-func (p *Pool) Len() int { return len(p.queue) }
-
-// Take returns up to max transactions in insertion order without removing
-// them (they leave the pool when a committed block prunes them). The
-// returned slice aliases the pool's queue; callers must not modify it.
-func (p *Pool) Take(max int) []*utxo.Transaction {
-	if len(p.queue) <= max {
-		return p.queue
-	}
-	return p.queue[:max]
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
 }
 
-// Prune drops the given transactions (typically a committed block's) from
-// the queue. With memoized IDs this costs O(len(txs)) map inserts and one
-// allocation-free sweep of the queue.
+// Bytes returns the total canonical size of the queued transactions.
+func (p *Pool) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Evictions returns the cumulative count of entries shed by
+// replacement-by-fee and capacity eviction.
+func (p *Pool) Evictions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// Take returns up to max pending transactions without removing them
+// (they leave the pool when a committed block prunes them): by
+// descending priority under Policy.PriorityOrder, by arrival order
+// otherwise. Callers must not modify the returned transactions.
+func (p *Pool) Take(max int) []*utxo.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	src := p.queue
+	if p.policy.PriorityOrder {
+		src = p.prio
+	}
+	n := len(src)
+	if n > max {
+		n = max
+	}
+	out := make([]*utxo.Transaction, n)
+	for i := 0; i < n; i++ {
+		out[i] = src[i].tx
+	}
+	return out
+}
+
+// Prune processes a committed block's transactions: each is recorded in
+// the committed set (so a client retry after commit is rejected with
+// ErrCommitted, whether or not this pool ever queued it) and dropped
+// from the pending queue if present.
 func (p *Pool) Prune(txs []*utxo.Transaction) {
-	if len(txs) == 0 || len(p.queue) == 0 {
+	if len(txs) == 0 {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	gone := make(map[types.Digest]struct{}, len(txs))
 	for _, tx := range txs {
-		gone[tx.ID()] = struct{}{}
+		id := tx.ID()
+		gone[id] = struct{}{}
+		p.committed[id] = struct{}{}
 	}
-	kept := p.queue[:0]
-	for _, tx := range p.queue {
-		if _, ok := gone[tx.ID()]; !ok {
-			kept = append(kept, tx)
+	if len(p.pending) == 0 {
+		return
+	}
+	dropped := false
+	for _, tx := range txs {
+		e, ok := p.pending[tx.ID()]
+		if !ok {
+			continue
+		}
+		dropped = true
+		delete(p.pending, e.id)
+		p.bytes -= e.size
+		p.byAcct[e.sender]--
+		if p.byAcct[e.sender] <= 0 {
+			delete(p.byAcct, e.sender)
+		}
+		key := slotKey{sender: e.sender, nonce: e.tx.Nonce}
+		if cur, ok := p.bySlot[key]; ok && cur == e {
+			delete(p.bySlot, key)
 		}
 	}
-	// Clear the tail so pruned transactions do not leak through the
-	// backing array.
-	for i := len(kept); i < len(p.queue); i++ {
-		p.queue[i] = nil
+	if !dropped {
+		return
 	}
-	p.queue = kept
+	// One allocation-free sweep per view instead of a splice per entry.
+	p.queue = sweep(p.queue, gone)
+	p.prio = sweep(p.prio, gone)
+}
+
+// sweep compacts a view in place, dropping entries whose digest is in
+// gone, and clears the freed tail so pruned transactions do not leak
+// through the backing array.
+func sweep(view []*entry, gone map[types.Digest]struct{}) []*entry {
+	kept := view[:0]
+	for _, e := range view {
+		if _, ok := gone[e.id]; !ok {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(view); i++ {
+		view[i] = nil
+	}
+	return kept
+}
+
+// TrimCommitted clears the committed-transaction dedup set — called when
+// a checkpoint is cut, which bounds the set's memory to one checkpoint
+// interval. A retry of an older committed transaction is then admitted
+// again, wastes pool space until proposed, and is skipped by the ledger.
+func (p *Pool) TrimCommitted() {
+	p.mu.Lock()
+	p.committed = make(map[types.Digest]struct{})
+	p.mu.Unlock()
 }

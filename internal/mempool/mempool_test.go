@@ -1,6 +1,7 @@
 package mempool
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/zeroloss/zlb/internal/crypto"
@@ -8,18 +9,23 @@ import (
 	"github.com/zeroloss/zlb/internal/utxo"
 )
 
-func testTxs(t *testing.T, n int) []*utxo.Transaction {
+func testWallet(t *testing.T, seed int64) *utxo.Wallet {
 	t.Helper()
 	reg := crypto.NewRegistry(crypto.SchemeSim)
 	scheme, err := crypto.NewScheme(crypto.SchemeSim, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kp, err := scheme.GenerateKey(crypto.NewDeterministicRand(3))
+	kp, err := scheme.GenerateKey(crypto.NewDeterministicRand(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := utxo.NewWallet(kp, scheme)
+	return utxo.NewWallet(kp, scheme)
+}
+
+func testTxs(t *testing.T, n int) []*utxo.Transaction {
+	t.Helper()
+	w := testWallet(t, 3)
 	txs := make([]*utxo.Transaction, 0, n)
 	for i := 0; i < n; i++ {
 		op := utxo.Outpoint{TxID: types.Hash([]byte{byte(i)}), Index: 0}
@@ -37,11 +43,11 @@ func TestAddDedupTakePrune(t *testing.T) {
 	p := New()
 	txs := testTxs(t, 5)
 	for i, tx := range txs {
-		if !p.Add(tx) {
-			t.Fatalf("tx %d rejected", i)
+		if err := p.Add(tx); err != nil {
+			t.Fatalf("tx %d rejected: %v", i, err)
 		}
-		if p.Add(tx) {
-			t.Fatalf("tx %d accepted twice", i)
+		if err := p.Add(tx); !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("tx %d re-add: got %v, want ErrDuplicate", i, err)
 		}
 	}
 	if p.Len() != 5 {
@@ -73,29 +79,51 @@ func TestAddDedupTakePrune(t *testing.T) {
 	}
 
 	// A pruned (committed) transaction must not re-enter the queue.
-	if p.Add(txs[0]) {
-		t.Error("committed tx re-added after prune")
+	if err := p.Add(txs[0]); !errors.Is(err, ErrCommitted) {
+		t.Errorf("committed tx re-add: got %v, want ErrCommitted", err)
 	}
 	if !p.Seen(txs[0].ID()) {
 		t.Error("pruned tx forgotten")
 	}
 }
 
-func TestPruneUnknownTxs(t *testing.T) {
+// TestCommittedDuplicateRejected is the regression test for the silent
+// committed-duplicate bug: a transaction committed since the last
+// checkpoint — whether or not this pool ever queued it — must be
+// rejected with ErrCommitted instead of silently re-entering the queue
+// and wasting a consensus slot. After TrimCommitted (a checkpoint cut)
+// the dedup obligation expires and the transaction is admissible again.
+func TestCommittedDuplicateRejected(t *testing.T) {
 	p := New()
 	txs := testTxs(t, 5)
 	for _, tx := range txs[:3] {
-		p.Add(tx)
+		if err := p.Add(tx); err != nil {
+			t.Fatal(err)
+		}
 	}
-	// Pruning a block whose transactions were never queued here (other
-	// replicas proposed them) leaves the queue untouched.
+	// A committed block carrying transactions this pool never queued
+	// (other replicas proposed them) leaves the queue untouched...
 	p.Prune(txs[3:])
 	p.Prune(nil)
 	if p.Len() != 3 {
-		t.Errorf("len %d after no-op prunes, want 3", p.Len())
+		t.Errorf("len %d after foreign prunes, want 3", p.Len())
 	}
-	// And those foreign transactions can still be added afterwards.
-	if !p.Add(txs[3]) {
-		t.Error("foreign tx rejected after being pruned-while-absent")
+	// ...but the foreign transactions are committed now: a client retry
+	// must be rejected, not silently re-queued.
+	if err := p.Add(txs[3]); !errors.Is(err, ErrCommitted) {
+		t.Errorf("committed foreign tx re-add: got %v, want ErrCommitted", err)
+	}
+	if !p.Seen(txs[3].ID()) {
+		t.Error("committed foreign tx not in Seen")
+	}
+
+	// A checkpoint bounds the dedup set: after the trim the old
+	// transaction may be admitted again (the ledger still skips it).
+	p.TrimCommitted()
+	if err := p.Add(txs[3]); err != nil {
+		t.Errorf("post-checkpoint re-add: got %v, want nil", err)
+	}
+	if p.Len() != 4 {
+		t.Errorf("len %d after post-checkpoint re-add, want 4", p.Len())
 	}
 }

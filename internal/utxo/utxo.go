@@ -294,6 +294,17 @@ func (tx *Transaction) OutputSum() types.Amount {
 	return sum
 }
 
+// Fee returns the fee the transaction offers: declared inputs minus
+// outputs (the coins that leave the UTXO set at commit). A malformed
+// overspend counts as zero fee; CheckShape rejects it regardless.
+func (tx *Transaction) Fee() types.Amount {
+	in, out := tx.InputSum(), tx.OutputSum()
+	if out >= in {
+		return 0
+	}
+	return in - out
+}
+
 // CheckShape validates the signature-independent structure.
 func (tx *Transaction) CheckShape() error {
 	if len(tx.Inputs) == 0 {
@@ -368,8 +379,16 @@ func NewWallet(kp *crypto.KeyPair, scheme crypto.Scheme) *Wallet {
 func (w *Wallet) Address() Address { return w.addr }
 
 // Pay builds and signs a transaction spending the given inputs to the
-// recipients, returning any change to the wallet.
+// recipients, returning all change to the wallet (zero fee).
 func (w *Wallet) Pay(inputs []Input, to []Output) (*Transaction, error) {
+	return w.PayWithFee(inputs, to, 0)
+}
+
+// PayWithFee builds and signs a transaction that leaves fee coins
+// unclaimed for the admission policy to rank by: change returned to the
+// wallet is the input sum minus recipients minus fee. The fee leaves the
+// UTXO set when the transaction commits.
+func (w *Wallet) PayWithFee(inputs []Input, to []Output, fee types.Amount) (*Transaction, error) {
 	var inSum, outSum types.Amount
 	for _, in := range inputs {
 		inSum += in.Value
@@ -377,11 +396,11 @@ func (w *Wallet) Pay(inputs []Input, to []Output) (*Transaction, error) {
 	for _, o := range to {
 		outSum += o.Value
 	}
-	if outSum > inSum {
+	if outSum+fee > inSum || outSum+fee < outSum {
 		return nil, ErrOverspend
 	}
 	outs := append([]Output(nil), to...)
-	if change := inSum - outSum; change > 0 {
+	if change := inSum - outSum - fee; change > 0 {
 		outs = append(outs, Output{Account: w.addr, Value: change})
 	}
 	w.nonce++

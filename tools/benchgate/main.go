@@ -136,15 +136,17 @@ func compare(base, cur map[pointKey]bench.Fig3Point, maxDrop float64) (string, [
 	// The wall-clock column is informational only: elapsed time depends
 	// on the runner, GOMAXPROCS and the simulation mode, so it never
 	// gates. Virtual tx/s is the deterministic, runner-speed-proof metric
-	// the gate compares.
-	b.WriteString("| system | n | baseline tx/s | current tx/s | delta | wall base | wall cur | gate |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	// the gate compares. The commit-gap p50/p99 columns are deterministic
+	// virtual-time latencies but informational too: they track tail
+	// behavior across PRs without adding a second gate axis.
+	b.WriteString("| system | n | baseline tx/s | current tx/s | delta | p50 cur | p99 cur | wall base | wall cur | gate |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, k := range keys {
 		bp := base[k]
 		cp, ok := cur[k]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s n=%d: missing from current report", k.System, k.N))
-			fmt.Fprintf(&b, "| %s | %d | %.0f | missing | — | %s | — | FAIL |\n",
+			fmt.Fprintf(&b, "| %s | %d | %.0f | missing | — | — | — | %s | — | FAIL |\n",
 				k.System, k.N, bp.TxPerSec, wallCell(bp.WallSec))
 			continue
 		}
@@ -158,11 +160,21 @@ func compare(base, cur map[pointKey]bench.Fig3Point, maxDrop float64) (string, [
 			failures = append(failures, fmt.Sprintf("%s n=%d: %.0f -> %.0f tx/s (%.1f%%)",
 				k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100))
 		}
-		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s | %s | %s |\n",
+		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s | %s | %s | %s | %s |\n",
 			k.System, k.N, bp.TxPerSec, cp.TxPerSec, delta*100,
+			msGateCell(cp.P50Ms), msGateCell(cp.P99Ms),
 			wallCell(bp.WallSec), wallCell(cp.WallSec), verdict)
 	}
 	return b.String(), failures
+}
+
+// msGateCell formats an informational commit-gap percentile; reports
+// written before the columns existed show a dash.
+func msGateCell(ms float64) string {
+	if ms <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0fms", ms)
 }
 
 // wallCell formats an informational wall-clock reading; baselines written

@@ -31,6 +31,8 @@ var readmeRequired = []string{
 	"internal/store",
 	"internal/pipeline",
 	"internal/conformance",
+	"internal/mempool",
+	"internal/load",
 }
 
 func main() {

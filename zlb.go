@@ -52,6 +52,7 @@ import (
 	"github.com/zeroloss/zlb/internal/payment"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
+	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/store"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
@@ -74,6 +75,18 @@ type (
 	Digest = types.Digest
 	// PoF is an undeniable proof of fraud against a deceitful replica.
 	PoF = accountability.PoF
+	// Outpoint references one output of an earlier transaction.
+	Outpoint = utxo.Outpoint
+	// Input consumes a previous transaction output.
+	Input = utxo.Input
+	// Output grants coins to an account.
+	Output = utxo.Output
+	// MempoolPolicy parameterizes mempool admission control (fee floor,
+	// priority ordering, per-account caps and rate limits,
+	// replacement-by-fee, size-bounded eviction). The zero value is fully
+	// permissive arrival-order queueing — the pre-admission behavior all
+	// fixed-seed goldens run under.
+	MempoolPolicy = mempool.Policy
 )
 
 // Attack selects a coalition attack for adversarial experiments.
@@ -145,6 +158,16 @@ type Config struct {
 	// when DataDir is set.
 	CheckpointEvery uint64
 
+	// Mempool is the admission policy every replica's pool enforces. The
+	// zero value queues everything in arrival order (the paper's
+	// workload); see MempoolPolicy for the knobs. Rate-limit windows run
+	// on the cluster's virtual clock, so admission decisions are
+	// deterministic for a fixed seed.
+	Mempool MempoolPolicy
+	// BatchTxs caps how many pending transactions one consensus proposal
+	// carries (default 2000).
+	BatchTxs int
+
 	// Deceitful makes the first `Deceitful` replicas a coalition running
 	// the configured Attack.
 	Deceitful int
@@ -156,6 +179,12 @@ type Config struct {
 
 	// OnBlock, if set, observes every committed block at replica 1.
 	OnBlock func(k uint64, txs int)
+	// OnCommittedBatch, if set, observes every committed block's
+	// transactions at the first honest replica, stamped with that
+	// replica's virtual commit time — the submit-to-commit latency probe
+	// the open-loop load harness (internal/load) builds percentiles
+	// from. The slice aliases the block; callers must not modify it.
+	OnCommittedBatch func(k uint64, txs []*Transaction, at time.Duration)
 	// OnFraud, if set, observes each proven deceitful replica (replica
 	// 1's view).
 	OnFraud func(culprit ReplicaID)
@@ -226,6 +255,9 @@ func applyDefaults(cfg *Config) error {
 	}
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 8
+	}
+	if cfg.BatchTxs == 0 {
+		cfg.BatchTxs = 2000
 	}
 	if cfg.Attack != NoAttack && cfg.PartitionDelayMs == 0 {
 		cfg.PartitionDelayMs = 3000
@@ -346,9 +378,12 @@ func (c *Cluster) newNode(id ReplicaID) (*node, error) {
 	n := &node{
 		id:      id,
 		ledger:  bm.NewLedger(c.scheme),
-		mempool: mempool.New(),
+		mempool: mempool.NewWithPolicy(c.cfg.Mempool),
 		stakes:  make(map[ReplicaID]Amount),
 	}
+	// Rate-limit windows follow the simulator's clock, so a fixed seed
+	// admits the same transactions in every execution mode.
+	n.mempool.SetClock(c.inner.Net.Now)
 	n.ledger.SetParallel(c.txv.Pool())
 	if c.cfg.DataDir != "" {
 		st, err := store.Open(replicaDataDir(c.cfg.DataDir, id),
@@ -430,12 +465,20 @@ func (c *Cluster) NewWallet(funds Amount) (*Wallet, error) {
 // Pay builds a signed payment from the wallet against an honest
 // replica's current ledger state.
 func (c *Cluster) Pay(w *Wallet, to Address, amount Amount) (*Transaction, error) {
+	return c.PayWithFee(w, to, amount, 0)
+}
+
+// PayWithFee builds a signed payment offering a fee on top of the
+// transferred amount — the coins admission policies rank by. Inputs are
+// selected against an honest replica's current ledger state and must
+// cover amount plus fee.
+func (c *Cluster) PayWithFee(w *Wallet, to Address, amount, fee Amount) (*Transaction, error) {
 	ledger := c.nodes[c.observer()].ledger
-	inputs, err := ledger.Table().InputsFor(w.Address(), amount)
+	inputs, err := ledger.Table().InputsFor(w.Address(), amount+fee)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInsufficient, err)
 	}
-	return w.Pay(inputs, []utxo.Output{{Account: to, Value: amount}})
+	return w.PayWithFee(inputs, []utxo.Output{{Account: to, Value: amount}}, fee)
 }
 
 // Submit places a transaction in every replica's mempool (clients
@@ -444,14 +487,26 @@ func (c *Cluster) Pay(w *Wallet, to Address, amount Amount) (*Transaction, error
 // digest is computed once for the whole cluster — and its signature
 // check starts on the commit pipeline here, typically settling before
 // consensus decides the batch that carries it.
-func (c *Cluster) Submit(tx *Transaction) {
+//
+// The returned error is the first honest replica's admission verdict
+// (nil, or one of the typed mempool errors: mempool.ErrDuplicate,
+// mempool.ErrCommitted, mempool.ErrFeeTooLow, ...). Every pool runs the
+// same policy on the same virtual clock and sees the same submission
+// sequence, so the verdict is cluster-wide in the fault-free case.
+func (c *Cluster) Submit(tx *Transaction) error {
 	c.txv.Preverify([]*utxo.Transaction{tx})
+	observer := c.observer()
+	var verdict error
 	for _, n := range c.nodes {
-		n.mempool.Add(tx)
+		err := n.mempool.Add(tx)
+		if n.id == observer {
+			verdict = err
+		}
 	}
 	for _, id := range c.inner.Members {
 		c.inner.Replicas[id].Kick()
 	}
+	return verdict
 }
 
 // EncodeBatch serializes transactions into a consensus proposal payload
@@ -488,18 +543,21 @@ func (c *Cluster) Start() {
 func (c *Cluster) bindNode(r *asmr.Replica, n *node) {
 	// The harness built the replica with its own BatchSource/OnCommit;
 	// rebind them to the payment application.
-	cfg := c.harnessConfigFor(n)
+	cfg := c.harnessConfigFor(r, n)
 	r.Rebind(cfg)
 }
 
-// harnessConfigFor builds the application bindings for one node.
-func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
+// harnessConfigFor builds the application bindings for one node. The
+// replica is passed alongside for its virtual clock: commit timestamps
+// must come from the replica's per-event time, which is bit-identical
+// across sequential and parallel simulation modes.
+func (c *Cluster) harnessConfigFor(r *asmr.Replica, n *node) asmr.AppBindings {
 	return asmr.AppBindings{
 		BatchSource: func(k uint64) asmr.Batch {
-			// Take up to 2000 pending transactions; an empty mempool
+			// Take up to BatchTxs pending transactions; an empty mempool
 			// defers the instance (Fig. 2: instances start only when
 			// requests are enqueued).
-			txs := n.mempool.Take(2000)
+			txs := n.mempool.Take(c.cfg.BatchTxs)
 			if len(txs) == 0 {
 				return asmr.Batch{}
 			}
@@ -529,8 +587,13 @@ func (c *Cluster) harnessConfigFor(n *node) asmr.AppBindings {
 			_ = applied
 			n.persistBlock(block, attempt, false)
 			n.pruneMempool(block)
-			if n.id == c.observer() && c.cfg.OnBlock != nil {
-				c.cfg.OnBlock(k, len(block.Txs))
+			if n.id == c.observer() {
+				if c.cfg.OnBlock != nil {
+					c.cfg.OnBlock(k, len(block.Txs))
+				}
+				if c.cfg.OnCommittedBatch != nil {
+					c.cfg.OnCommittedBatch(k, block.Txs, r.Now())
+				}
 			}
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
@@ -607,6 +670,11 @@ func (n *node) persistBlock(b *bm.Block, attempt uint32, merge bool) {
 	}
 	if err == nil && n.store.ShouldCheckpoint() {
 		err = n.store.WriteCheckpoint(n.ledger.CheckpointState())
+		if err == nil {
+			// The checkpoint bounds how far back a committed-transaction
+			// retry must be rejected; older dedup state is released here.
+			n.mempool.TrimCommitted()
+		}
 	}
 	if err != nil && n.storeErr == nil {
 		n.storeErr = err
@@ -621,8 +689,36 @@ func (c *Cluster) Run(d time.Duration) {
 // RunUntilQuiet drains all pending events up to the virtual deadline.
 func (c *Cluster) RunUntilQuiet(max time.Duration) { c.inner.RunUntilQuiet(max) }
 
+// StallPartition delays all cross-group traffic between the given
+// replica groups by extra virtual time — a partition that stalls
+// consensus without losing messages, which is how the load harness
+// exhausts mempools while commits cannot progress. Replicas not listed
+// in any group communicate freely. The rule replaces any delay rule a
+// previous StallPartition installed; ClearPartitionStall removes it.
+func (c *Cluster) StallPartition(groups [][]ReplicaID, extra time.Duration) {
+	groupOf := make(map[ReplicaID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			groupOf[id] = g + 1 // 0 means unlisted
+		}
+	}
+	lookup := func(id types.ReplicaID) int { return groupOf[id] - 1 }
+	c.inner.Net.DelayRule = simnet.PartitionDelay(lookup, extra)
+}
+
+// ClearPartitionStall heals a StallPartition.
+func (c *Cluster) ClearPartitionStall() { c.inner.Net.DelayRule = nil }
+
 // Now returns the virtual time.
 func (c *Cluster) Now() time.Duration { return c.inner.Net.Now() }
+
+// MempoolStats reports the first honest replica's pool occupancy:
+// pending transactions, their total canonical bytes, and the cumulative
+// count of entries shed by replacement-by-fee and capacity eviction.
+func (c *Cluster) MempoolStats() (pending int, bytes int64, evictions uint64) {
+	p := c.nodes[c.observer()].mempool
+	return p.Len(), p.Bytes(), p.Evictions()
+}
 
 // Balance reads an account balance at the first honest replica.
 func (c *Cluster) Balance(addr Address) Amount {
