@@ -29,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +43,7 @@ import (
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
@@ -70,7 +73,14 @@ func main() {
 	poolMinFee := flag.Uint64("mempool-min-fee", 0, "mempool admission: reject transactions below this fee")
 	poolPriority := flag.Bool("mempool-priority", false, "mempool admission: batch by fee rate instead of arrival order")
 	poolReplaceBump := flag.Int("mempool-replace-bump", 0, "mempool admission: replacement-by-fee bump percentage (0 = replacement off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /status (JSON) and /debug/pprof/ on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log severity (debug, info, warn, error)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *id == 0 || *listen == "" || *peersFlag == "" {
 		flag.Usage()
@@ -101,13 +111,15 @@ func main() {
 			ReplaceBumpPct: *poolReplaceBump,
 			PriorityOrder:  *poolPriority,
 		},
-		Logf: log.Printf,
+		MetricsAddr: *metricsAddr,
+		LogLevel:    level,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	stop := shutdownOnSignal(rn, log.Printf)
+	stop := shutdownOnSignal(rn, rn.log)
 	defer stop()
 	if err := rn.Serve(); err != nil {
 		log.Fatal(err)
@@ -121,21 +133,21 @@ func main() {
 // immediately — the escape hatch when a peer wedges the drain. The
 // returned stop function disarms the handler (used by tests; main never
 // needs it).
-func shutdownOnSignal(rn *replicaNode, logf func(format string, args ...any)) (stop func()) {
+func shutdownOnSignal(rn *replicaNode, logger *obs.Logger) (stop func()) {
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	quit := make(chan struct{})
 	go func() {
 		select {
 		case s := <-sig:
-			logf("received %v: draining event loop and closing store", s)
+			logger.Infof("received %v: draining event loop and closing store", s)
 		case <-quit:
 			return
 		}
 		go func() {
 			select {
 			case s := <-sig:
-				logf("received second %v: exiting immediately", s)
+				logger.Errorf("received second %v: exiting immediately", s)
 				os.Exit(1)
 			case <-quit:
 			}
@@ -168,19 +180,36 @@ type nodeConfig struct {
 	Mempool mempool.Policy
 	// SyncTimeout bounds the bootstrap wait for peer responses (default 5s).
 	SyncTimeout time.Duration
-	Logf        func(format string, args ...any)
+	// MetricsAddr serves /metrics, /status and /debug/pprof/ when set.
+	MetricsAddr string
+	// LogLevel is the minimum severity Logf receives. The zero value is
+	// LevelDebug (everything), which tests rely on; main defaults the
+	// flag to info.
+	LogLevel obs.Level
+	// Logf is the log sink (log.Printf in main, t.Logf in tests). At the
+	// default info level the emitted lines are byte-identical to the
+	// pre-leveled logger: no pre-existing line was demoted below info.
+	Logf func(format string, args ...any)
 }
 
 // replicaNode is one running replica: transport node, consensus replica,
 // payment state and (optionally) the durable store.
 type replicaNode struct {
 	cfg      nodeConfig
+	log      *obs.Logger
 	node     *transport.Node
 	replica  *asmr.Replica
 	pool     *mempool.Pool
 	batches  *wire.BatchCache
 	txScheme crypto.Scheme
 	faucet   utxo.Address
+
+	// Observability (metrics.go): the registry is always maintained, the
+	// HTTP listener only exists under -metrics-addr.
+	metrics   *nodeMetrics
+	metricsLn net.Listener
+	httpSrv   *http.Server
+	startedAt time.Time
 	// Commit pipeline (nil in -sequential mode): shared certificate
 	// verdicts for the consensus layer, speculative transaction
 	// verification for the payment layer.
@@ -190,6 +219,9 @@ type replicaNode struct {
 	// All fields below are touched only on the transport event loop.
 	ledger *bm.Ledger
 	st     *store.Store
+	// proposeAt is the wall-clock start per instance, feeding the commit
+	// latency histogram.
+	proposeAt map[uint64]time.Time
 
 	started   bool
 	syncPeers []types.ReplicaID
@@ -210,9 +242,6 @@ type (
 
 func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	transport.RegisterWireTypes()
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
 	if cfg.SyncTimeout == 0 {
 		cfg.SyncTimeout = 5 * time.Second
 	}
@@ -231,11 +260,15 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	start := time.Now()
 	rn := &replicaNode{
 		cfg:       cfg,
+		log:       obs.NewLogger(cfg.Logf, cfg.LogLevel),
 		pool:      mempool.NewWithPolicy(cfg.Mempool),
 		batches:   wire.NewBatchCache(0),
+		proposeAt: make(map[uint64]time.Time),
+		startedAt: start,
 		syncResps: make(map[types.ReplicaID]*wire.SyncResp),
 		served:    make(chan struct{}),
 	}
+	rn.metrics = newNodeMetrics(rn.pool)
 	// Rate-limit windows run on wall time since process start (a real
 	// deployment has no virtual clock to share).
 	rn.pool.SetClock(func() time.Duration { return time.Since(start) })
@@ -282,7 +315,7 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 			for _, rec := range st.BlockRecords() {
 				restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})
 			}
-			cfg.Logf("recovered chain from %s: height %d, lastK %d, faucet=%d",
+			rn.log.Infof("recovered chain from %s: height %d, lastK %d, faucet=%d",
 				cfg.DataDir, ledger.Height(), ledger.LastK(), ledger.Table().Balance(rn.faucet))
 		}
 	}
@@ -317,6 +350,9 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 			if err != nil {
 				return asmr.Batch{}
 			}
+			if _, ok := rn.proposeAt[k]; !ok {
+				rn.proposeAt[k] = time.Now()
+			}
 			return asmr.Batch{Payload: data, ClaimedSigs: len(txs)}
 		},
 		OnCommit: func(k uint64, attempt uint32, d *sbc.Decision) {
@@ -324,20 +360,31 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 			applied := rn.ledger.CommitBlock(block)
 			rn.persist(block, attempt, false)
 			rn.pool.Prune(block.Txs)
-			cfg.Logf("block %d committed: %d txs applied, height %d, faucet=%d",
+			rn.metrics.committed.Inc()
+			rn.metrics.txApplied.Add(uint64(applied))
+			rn.metrics.height.Set(int64(rn.ledger.Height()))
+			if t0, ok := rn.proposeAt[k]; ok {
+				delete(rn.proposeAt, k)
+				rn.metrics.commitLat.Observe(time.Since(t0).Seconds())
+			}
+			rn.log.Infof("block %d committed: %d txs applied, height %d, faucet=%d",
 				k, applied, rn.ledger.Height(), rn.ledger.Table().Balance(rn.faucet))
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
 			block := blockFrom(k, remote, rn.batches)
 			merged := rn.ledger.MergeBlock(block)
 			rn.persist(block, 0, true)
-			cfg.Logf("fork at block %d reconciled: %d txs merged", k, merged)
+			rn.metrics.merged.Inc()
+			rn.metrics.height.Set(int64(rn.ledger.Height()))
+			rn.log.Warnf("fork at block %d reconciled: %d txs merged", k, merged)
 		},
 		OnPoF: func(p accountability.PoF) {
-			cfg.Logf("proof of fraud against replica %v", p.Culprit)
+			rn.metrics.culprits.Inc()
+			rn.log.Warnf("proof of fraud against replica %v", p.Culprit)
 		},
 		OnMembershipChange: func(res *membership.Result) {
-			cfg.Logf("membership change: excluded %v, included %v", res.Excluded, res.Included)
+			rn.metrics.epoch.Set(int64(res.Epoch))
+			rn.log.Infof("membership change: excluded %v, included %v", res.Excluded, res.Included)
 		},
 	})
 	if len(restored) > 0 {
@@ -356,7 +403,13 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		}
 		rn.start(len(restored) > 0)
 	})
-	cfg.Logf("replica %v listening on %s (n=%d)", cfg.Self, cfg.Listen, cfg.N)
+	if cfg.MetricsAddr != "" {
+		if err := rn.startMetricsServer(cfg.MetricsAddr); err != nil {
+			rn.node.Close()
+			return nil, err
+		}
+	}
+	rn.log.Infof("replica %v listening on %s (n=%d)", cfg.Self, cfg.Listen, cfg.N)
 	return rn, nil
 }
 
@@ -429,7 +482,7 @@ func (rn *replicaNode) beginSync() {
 	}
 	rn.node.SetTimer(rn.cfg.SyncTimeout/2, syncRetry{})
 	rn.node.SetTimer(rn.cfg.SyncTimeout, syncDeadline{})
-	rn.cfg.Logf("bootstrapping from %d peers", len(rn.syncPeers))
+	rn.log.Infof("bootstrapping from %d peers", len(rn.syncPeers))
 }
 
 // retrySync re-sends the bootstrap request to peers that have not
@@ -441,6 +494,7 @@ func (rn *replicaNode) retrySync() {
 	payload := wire.EncodeSyncReq(&wire.SyncReq{FromK: 1, WantCheckpoint: true})
 	for _, id := range rn.syncPeers {
 		if _, ok := rn.syncResps[id]; !ok {
+			rn.log.Debugf("re-requesting bootstrap state from replica %v", id)
 			rn.node.Send(id, &transport.SyncFrame{Req: true, Payload: payload})
 		}
 	}
@@ -459,7 +513,7 @@ func (rn *replicaNode) onSyncFrame(from types.ReplicaID, f *transport.SyncFrame)
 		}
 		resp, err := rn.st.BuildSyncResp(req)
 		if err != nil {
-			rn.cfg.Logf("building sync response: %v", err)
+			rn.log.Warnf("building sync response: %v", err)
 			return
 		}
 		rn.node.Send(from, &transport.SyncFrame{Payload: wire.EncodeSyncResp(resp)})
@@ -505,7 +559,7 @@ func (rn *replicaNode) finishSync() {
 				restored = append(restored, asmr.RestoredBlock{K: rec.K, Attempt: rec.Attempt, Digest: rec.Digest})
 			}
 			rn.replica.Restore(restored)
-			rn.cfg.Logf("bootstrap installed: height %d, lastK %d", ledger.Height(), ledger.LastK())
+			rn.log.Infof("bootstrap installed: height %d, lastK %d", ledger.Height(), ledger.LastK())
 			rn.start(true)
 			return
 		}
@@ -524,7 +578,7 @@ func (rn *replicaNode) finishSync() {
 		log.Fatalf("reopening store after failed bootstrap: %v", openErr)
 	}
 	rn.st = st
-	rn.cfg.Logf("bootstrap failed (%v), starting from genesis", err)
+	rn.log.Warnf("bootstrap failed (%v), starting from genesis", err)
 	rn.start(false)
 }
 
@@ -537,7 +591,7 @@ func (rn *replicaNode) Serve() error {
 	err := rn.node.Serve()
 	if rn.st != nil {
 		if cerr := rn.st.Close(); cerr != nil {
-			rn.cfg.Logf("closing store: %v", cerr)
+			rn.log.Errorf("closing store: %v", cerr)
 		}
 	}
 	close(rn.served)
@@ -548,6 +602,9 @@ func (rn *replicaNode) Serve() error {
 // closing the store, so the data directory is quiescent when Close
 // returns (a restart may reopen it immediately).
 func (rn *replicaNode) Close() {
+	if rn.httpSrv != nil {
+		rn.httpSrv.Close()
+	}
 	rn.node.Close()
 	<-rn.served
 }
@@ -566,9 +623,9 @@ func (h *appHandler) OnMessage(from types.ReplicaID, msg simnet.Message) {
 		}
 		if err := h.rn.pool.Add(m.Tx); err == nil {
 			h.rn.replica.Kick()
-			h.rn.cfg.Logf("tx %v enqueued (mempool %d)", m.Tx.ID(), h.rn.pool.Len())
+			h.rn.log.Infof("tx %v enqueued (mempool %d)", m.Tx.ID(), h.rn.pool.Len())
 		} else {
-			h.rn.cfg.Logf("tx %v rejected: %v", m.Tx.ID(), err)
+			h.rn.log.Warnf("tx %v rejected: %v", m.Tx.ID(), err)
 		}
 	case *transport.SyncFrame:
 		h.rn.onSyncFrame(from, m)

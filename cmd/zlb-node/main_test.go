@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/transport"
 	"github.com/zeroloss/zlb/internal/types"
 	"github.com/zeroloss/zlb/internal/utxo"
@@ -317,7 +318,7 @@ func TestNodeCleanSignalShutdown(t *testing.T) {
 	}
 
 	// Arm the same handler main() installs and deliver a real SIGTERM.
-	stop := shutdownOnSignal(nodes[3], t.Logf)
+	stop := shutdownOnSignal(nodes[3], obs.NewLogger(t.Logf, obs.LevelDebug))
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

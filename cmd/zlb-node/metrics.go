@@ -1,0 +1,145 @@
+// Node observability: a dependency-free HTTP endpoint (-metrics-addr)
+// exposing Prometheus-text metrics at /metrics, an operator-facing JSON
+// snapshot at /status, and the standard pprof profiling handlers under
+// /debug/pprof/. The registry (internal/obs) is always maintained —
+// counter updates are lock-free atomics, negligible next to a commit —
+// and only the HTTP listener is conditional on the flag.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/obs"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// commitLatencyBounds bucket the propose→commit wall-clock latency
+// histogram (seconds).
+var commitLatencyBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// nodeMetrics is the replica's metric surface. Event-driven series
+// (heights, counts, latencies) are updated from the consensus callbacks
+// on the event loop; mempool series are sampled from Pool.Stats at
+// scrape time, since the pool already maintains those counters under its
+// own lock.
+type nodeMetrics struct {
+	reg *obs.Metrics
+
+	height    *obs.Gauge
+	epoch     *obs.Gauge
+	committed *obs.Counter
+	merged    *obs.Counter
+	txApplied *obs.Counter
+	culprits  *obs.Counter
+	commitLat *obs.Histogram
+}
+
+func newNodeMetrics(pool *mempool.Pool) *nodeMetrics {
+	reg := obs.NewMetrics()
+	m := &nodeMetrics{
+		reg:       reg,
+		height:    reg.Gauge("zlb_height", "Committed chain height of this replica."),
+		epoch:     reg.Gauge("zlb_epoch", "Current membership epoch."),
+		committed: reg.Counter("zlb_blocks_committed_total", "Blocks committed by consensus."),
+		merged:    reg.Counter("zlb_blocks_merged_total", "Forked blocks reconciled by the merge procedure."),
+		txApplied: reg.Counter("zlb_txs_applied_total", "Transactions applied to the ledger by committed blocks."),
+		culprits:  reg.Counter("zlb_proven_culprits_total", "Replicas convicted by a proof of fraud."),
+		commitLat: reg.Histogram("zlb_commit_latency_seconds", "Wall-clock latency from batch proposal to commit.", commitLatencyBounds),
+	}
+	reg.GaugeFunc("zlb_mempool_pending", "Transactions pending in the mempool.",
+		func() float64 { return float64(pool.Stats().Pending) })
+	reg.GaugeFunc("zlb_mempool_bytes", "Canonical bytes pending in the mempool.",
+		func() float64 { return float64(pool.Stats().Bytes) })
+	reg.CounterFunc("zlb_mempool_admitted_total", "Transactions admitted by the mempool.",
+		func() float64 { return float64(pool.Stats().Admitted) })
+	reg.CounterFunc("zlb_mempool_evictions_total", "Transactions evicted by mempool admission policy.",
+		func() float64 { return float64(pool.Stats().Evictions) })
+	for _, reason := range mempool.RejectReasons {
+		r := reason
+		reg.CounterFunc("zlb_mempool_rejects_total", "Transactions rejected by the mempool, by reason.",
+			func() float64 { return float64(pool.Stats().Rejects[r]) }, "reason", r)
+	}
+	return m
+}
+
+// status is the /status JSON document: the same state the metrics expose,
+// in one human- and script-friendly snapshot.
+type status struct {
+	ID              types.ReplicaID `json:"id"`
+	N               int             `json:"n"`
+	Height          int64           `json:"height"`
+	Epoch           int64           `json:"epoch"`
+	BlocksCommitted uint64          `json:"blocks_committed"`
+	BlocksMerged    uint64          `json:"blocks_merged"`
+	TxsApplied      uint64          `json:"txs_applied"`
+	ProvenCulprits  uint64          `json:"proven_culprits"`
+	Mempool         mempool.Stats   `json:"mempool"`
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+}
+
+func (rn *replicaNode) statusSnapshot() status {
+	m := rn.metrics
+	return status{
+		ID:              rn.cfg.Self,
+		N:               rn.cfg.N,
+		Height:          m.height.Value(),
+		Epoch:           m.epoch.Value(),
+		BlocksCommitted: m.committed.Value(),
+		BlocksMerged:    m.merged.Value(),
+		TxsApplied:      m.txApplied.Value(),
+		ProvenCulprits:  m.culprits.Value(),
+		Mempool:         rn.pool.Stats(),
+		UptimeSeconds:   time.Since(rn.startedAt).Seconds(),
+	}
+}
+
+// startMetricsServer binds addr and serves /metrics, /status and
+// /debug/pprof/ until Close. The bound address is available through
+// metricsAddr (tests bind ":0").
+func (rn *replicaNode) startMetricsServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rn.metrics.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rn.statusSnapshot())
+	})
+	// The pprof handlers are registered explicitly on this mux (importing
+	// net/http/pprof for its side effect would pollute the default mux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	rn.metricsLn = ln
+	rn.httpSrv = &http.Server{Handler: mux}
+	go func() {
+		if err := rn.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			rn.log.Errorf("metrics server: %v", err)
+		}
+	}()
+	rn.log.Infof("metrics on http://%s/metrics", ln.Addr())
+	return nil
+}
+
+// metricsAddr reports the bound metrics address ("" when disabled).
+func (rn *replicaNode) metricsAddr() string {
+	if rn.metricsLn == nil {
+		return ""
+	}
+	return rn.metricsLn.Addr().String()
+}

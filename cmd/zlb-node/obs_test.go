@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// TestNodeMetricsEndpoint is the observability smoke test: a real-TCP
+// cluster commits payments while replica 1 serves -metrics-addr, and the
+// test scrapes /metrics (Prometheus text), /status (JSON) and
+// /debug/pprof/ like a monitoring stack would.
+func TestNodeMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP integration test")
+	}
+	const n = 4
+	const seed = int64(11)
+	addrs := freeAddrs(t, n)
+
+	nodes := make([]*replicaNode, n)
+	for i := 0; i < n; i++ {
+		cfg := nodeConfig{
+			Self:   types.ReplicaID(i + 1),
+			N:      n,
+			Listen: addrs[i],
+			Peers:  addrs,
+			Seed:   seed,
+			Logf:   t.Logf,
+		}
+		if i == 0 {
+			cfg.MetricsAddr = "127.0.0.1:0"
+		}
+		rn, err := newReplicaNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = rn
+		go rn.Serve()
+	}
+	defer func() {
+		for _, rn := range nodes {
+			rn.Close()
+		}
+	}()
+
+	base := "http://" + nodes[0].metricsAddr()
+	if base == "http://" {
+		t.Fatal("replica 1 did not bind a metrics listener")
+	}
+
+	client := newTestClient(t, seed, addrs)
+	const blocks = 2
+	for b := 0; b < blocks; b++ {
+		client.submit(types.Amount(500+b), 0, 1, 2, 3)
+		want := b + 1
+		waitFor(t, 30*time.Second, fmt.Sprintf("block %d on all replicas", want), func() bool {
+			for i := 0; i < n; i++ {
+				if nodes[i].state().Height < want {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	body := scrape(t, base+"/metrics")
+	for _, series := range []string{
+		"zlb_height",
+		"zlb_epoch",
+		"zlb_blocks_committed_total",
+		"zlb_blocks_merged_total",
+		"zlb_proven_culprits_total",
+		"zlb_mempool_pending",
+		"zlb_mempool_bytes",
+		"zlb_mempool_admitted_total",
+		"zlb_commit_latency_seconds_count",
+	} {
+		if !strings.Contains(body, "\n"+series+" ") {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+	// Every reject reason is pre-registered, zeros included.
+	for _, reason := range mempool.RejectReasons {
+		if !strings.Contains(body, fmt.Sprintf("zlb_mempool_rejects_total{reason=%q}", reason)) {
+			t.Errorf("/metrics missing reject series for reason %q", reason)
+		}
+	}
+	if v := seriesValue(t, body, "zlb_height"); v < blocks {
+		t.Errorf("zlb_height = %v, want >= %d", v, blocks)
+	}
+	if v := seriesValue(t, body, "zlb_blocks_committed_total"); v < blocks {
+		t.Errorf("zlb_blocks_committed_total = %v, want >= %d", v, blocks)
+	}
+	if v := seriesValue(t, body, "zlb_mempool_admitted_total"); v < blocks {
+		t.Errorf("zlb_mempool_admitted_total = %v, want >= %d", v, blocks)
+	}
+	if v := seriesValue(t, body, "zlb_commit_latency_seconds_count"); v < blocks {
+		t.Errorf("zlb_commit_latency_seconds_count = %v, want >= %d", v, blocks)
+	}
+
+	var st status
+	if err := json.Unmarshal([]byte(scrape(t, base+"/status")), &st); err != nil {
+		t.Fatalf("decoding /status: %v", err)
+	}
+	if st.ID != 1 || st.N != n {
+		t.Errorf("/status identity = (%v, %d), want (1, %d)", st.ID, st.N, n)
+	}
+	if st.Height < blocks {
+		t.Errorf("/status height = %d, want >= %d", st.Height, blocks)
+	}
+	if st.BlocksCommitted < blocks {
+		t.Errorf("/status blocks_committed = %d, want >= %d", st.BlocksCommitted, blocks)
+	}
+	if st.Mempool.Admitted < blocks {
+		t.Errorf("/status mempool.admitted = %d, want >= %d", st.Mempool.Admitted, blocks)
+	}
+
+	if idx := scrape(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list the goroutine profile")
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// seriesValue extracts an unlabeled sample's value from a Prometheus
+// text body.
+func seriesValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("parsing %s sample %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found", name)
+	return 0
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/zeroloss/zlb/internal/bench"
 	"github.com/zeroloss/zlb/internal/harness"
 	"github.com/zeroloss/zlb/internal/load"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/scenario"
 )
@@ -451,6 +452,55 @@ func TestParallelSimnetBitIdentical(t *testing.T) {
 			if got != ref {
 				t.Errorf("%s diverged from %s:\n--- got\n%s--- want\n%s", m.name, modes[0].name, got, ref)
 			}
+		}
+	})
+	// Trace-digest pin: with tracing enabled, the merged obs event stream
+	// of a full accountability campaign (fork, detection, exclusion,
+	// merge) must be bit-identical across all three execution modes AND
+	// match the golden digest — the internal/obs determinism contract at
+	// the system level. Tracing must not force the sequential fallback:
+	// the parallel modes run through conservative windows like any other
+	// run.
+	t.Run("trace/attack-detect-exclude-merge", func(t *testing.T) {
+		const name = "attack-detect-exclude-merge"
+		var ref string
+		for i, m := range modes {
+			got := runMode(t, m.maxprocs, func() string {
+				s, err := scenario.Build(name, 9, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Opts.SequentialSim = m.seqSim
+				s.Opts.Tracer = obs.NewTracer()
+				if _, err := scenario.Run(s); err != nil {
+					t.Fatal(err)
+				}
+				if s.Opts.Tracer.Len() == 0 {
+					t.Fatal("traced scenario recorded no events")
+				}
+				return s.Opts.Tracer.Digest()
+			})
+			if i == 0 {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Errorf("%s trace digest %s, want %s (%s)", m.name, got, ref, modes[0].name)
+			}
+		}
+		goldenPath := filepath.Join("testdata", "scenario_goldens", "trace-"+name+".digest")
+		if *updateGoldens {
+			if err := os.WriteFile(goldenPath, []byte(ref+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+		}
+		if ref+"\n" != string(want) {
+			t.Errorf("trace digest %s does not match golden %s", ref, string(want))
 		}
 	})
 }

@@ -23,6 +23,7 @@ import (
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
@@ -91,6 +92,11 @@ type Config struct {
 	// digest across the deployment — one copy of each proposal instead of
 	// one per replica (rbc.Config.Intern). Nil keeps per-message slices.
 	Intern *rbc.Intern
+	// Tracer, when non-nil, records the replica's consensus lifecycle
+	// (batch proposal, commits, disagreements, PoFs, membership changes)
+	// with virtual timestamps and is threaded into every sub-protocol.
+	// Nil disables tracing at zero cost.
+	Tracer *obs.NodeTracer
 
 	// OnProposal observes every proposal payload the moment the reliable
 	// broadcast delivers it, before the instance decides — the
@@ -441,6 +447,7 @@ func (r *Replica) startInstance(k uint64) {
 		return // no enqueued requests; Kick retries when work arrives
 	}
 	st.proposed = true
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseBatchPropose, k, 0, st.attempt, "")
 	st.inst.Propose(batch.Payload, batch.ClaimedBytes, batch.ClaimedSigs)
 }
 
@@ -487,6 +494,7 @@ func (r *Replica) buildSBC(k uint64, st *instState) *sbc.Instance {
 		CoordTimeout: r.cfg.CoordTimeout,
 		Certs:        r.cfg.Certs,
 		Intern:       r.cfg.Intern,
+		Tracer:       r.cfg.Tracer,
 		OnProposal: func(payload []byte) {
 			if r.cfg.OnProposal != nil {
 				r.cfg.OnProposal(st.k, payload)
@@ -518,6 +526,7 @@ func (r *Replica) onDecide(st *instState, d *sbc.Decision) {
 	st.decision = d
 	st.digest = d.Digest()
 	r.committed[st.k] = d
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseCommit, st.k, 0, st.attempt, "")
 	if r.cfg.OnCommit != nil {
 		r.cfg.OnCommit(st.k, st.attempt, d)
 	}
@@ -652,6 +661,7 @@ func (r *Replica) onBlockResp(_ types.ReplicaID, m *BlockResp) {
 	}
 	st.remoteSeen[dig] = true
 	st.disagreement = true
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseDisagreement, m.K, 0, st.attempt, "")
 	AbsorbDecision(r.log, m.Decision)
 	if st.decided && r.cfg.OnDisagreement != nil {
 		r.cfg.OnDisagreement(st.k, st.decision, m.Decision)
@@ -661,6 +671,7 @@ func (r *Replica) onBlockResp(_ types.ReplicaID, m *BlockResp) {
 
 // onPoF fires from the accountability log exactly once per culprit.
 func (r *Replica) onPoF(p accountability.PoF) {
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhasePoF, 0, uint32(p.Culprit), 0, "")
 	if r.FirstPoFAt == 0 {
 		r.FirstPoFAt = r.cfg.Env.Now()
 	}
@@ -736,6 +747,8 @@ func (r *Replica) maybeStartChange() {
 // onChangeResult applies a completed membership change: update C, punish,
 // catch new replicas up, restart stopped instances (Alg. 1 lines 37-49).
 func (r *Replica) onChangeResult(res *membership.Result) {
+	// Slot/Round encode how many replicas left and joined the committee.
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseExclusion, res.Epoch, uint32(len(res.Excluded)), uint32(len(res.Included)), "")
 	r.epoch = res.Epoch
 	r.changes = append(r.changes, res)
 	r.view.Exclude(res.Excluded)
@@ -750,21 +763,27 @@ func (r *Replica) onChangeResult(res *membership.Result) {
 	// Restart stopped instances under the new committee (line 49). The
 	// attempt number equals the membership epoch everywhere, so honest
 	// replicas that restart independently agree on the restarted run's
-	// identity.
-	for _, st := range r.instances {
+	// identity. Restarts run in ascending k: each one sends messages
+	// (drawing from the simulator's latency RNG) and records trace
+	// events, so map-iteration order would leak into the run.
+	var restartKs []uint64
+	for k, st := range r.instances {
 		if st.stopped && !st.decided {
-			k := st.k
-			fresh := &instState{
-				k:          k,
-				attempt:    uint32(r.epoch),
-				confirms:   make(map[types.ReplicaID]types.Digest),
-				remoteSeen: make(map[types.Digest]bool),
-				reqSent:    make(map[types.ReplicaID]bool),
-			}
-			fresh.inst = r.buildSBC(k, fresh)
-			r.instances[k] = fresh
-			r.startInstance(k)
+			restartKs = append(restartKs, k)
 		}
+	}
+	sortUint64(restartKs)
+	for _, k := range restartKs {
+		fresh := &instState{
+			k:          k,
+			attempt:    uint32(r.epoch),
+			confirms:   make(map[types.ReplicaID]types.Digest),
+			remoteSeen: make(map[types.Digest]bool),
+			reqSent:    make(map[types.ReplicaID]bool),
+		}
+		fresh.inst = r.buildSBC(k, fresh)
+		r.instances[k] = fresh
+		r.startInstance(k)
 	}
 	// Some honest replicas may have decided the stopped instances before
 	// the change reached them; pull their certified blocks so we adopt
@@ -872,6 +891,7 @@ func (r *Replica) onJoinNotice(_ types.ReplicaID, m *JoinNotice) {
 	}
 	// In-flight instances run at attempt = epoch; ensureInstance picks
 	// that up from the epoch adopted above.
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseInclusion, m.Epoch, uint32(r.cfg.Self), 0, "")
 	if r.cfg.OnJoined != nil {
 		r.cfg.OnJoined(m.Epoch, m.Committee)
 	}

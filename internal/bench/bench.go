@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"github.com/zeroloss/zlb/internal/hotstuff"
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/load"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
 )
@@ -98,6 +100,12 @@ type Fig3Config struct {
 	// the A/B switch for the parallel-simnet wall-clock table. All
 	// virtual-time metrics are identical either way.
 	SequentialSim bool
+	// TraceSink, when set, receives one obs run-header line followed by
+	// the merged deterministic event stream (JSONL) for every ZLB-stack
+	// point (HotStuff has no instrumented consensus stack and emits
+	// nothing). tools/tracelat turns the stream into per-phase latency
+	// percentiles.
+	TraceSink io.Writer
 }
 
 // RunFig3 reproduces Figure 3: throughput of ZLB, Red Belly, Polygraph
@@ -116,7 +124,7 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 	var out []Fig3Point
 	for _, n := range cfg.Ns {
 		for _, sys := range systems {
-			p, err := runFig3Point(sys, n, cfg.Instances, cfg.Seed, cfg.Sequential, cfg.SequentialSim)
+			p, err := runFig3Point(sys, n, cfg.Instances, cfg.Seed, cfg.Sequential, cfg.SequentialSim, cfg.TraceSink)
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s n=%d: %w", sys, n, err)
 			}
@@ -157,13 +165,18 @@ func ZLBFig3Options(n int, instances uint64, seed int64) harness.Options {
 	}
 }
 
-func runFig3Point(sys System, n int, instances uint64, seed int64, sequential, sequentialSim bool) (Fig3Point, error) {
+func runFig3Point(sys System, n int, instances uint64, seed int64, sequential, sequentialSim bool, traceSink io.Writer) (Fig3Point, error) {
 	if sys == SystemHotStuff {
 		return runFig3HotStuff(n, instances, seed, sequentialSim)
 	}
 	opts := ZLBFig3Options(n, instances, seed)
 	opts.Sequential = sequential
 	opts.SequentialSim = sequentialSim
+	var tracer *obs.Tracer
+	if traceSink != nil {
+		tracer = obs.NewTracer()
+		opts.Tracer = tracer
+	}
 	switch sys {
 	case SystemZLB:
 		// ZLBFig3Options is the ZLB configuration already.
@@ -215,6 +228,14 @@ func runFig3Point(sys System, n int, instances uint64, seed int64, sequential, s
 		tps = float64(tx) / last.Seconds()
 	}
 	p50, p99 := commitGapPercentiles(ats)
+	if tracer != nil {
+		if err := obs.WriteRunHeader(traceSink, obs.RunHeader{Experiment: "fig3", System: string(sys), N: n, Seed: seed}); err != nil {
+			return Fig3Point{}, fmt.Errorf("trace sink: %w", err)
+		}
+		if err := tracer.WriteJSONL(traceSink); err != nil {
+			return Fig3Point{}, fmt.Errorf("trace sink: %w", err)
+		}
+	}
 	return Fig3Point{System: sys, N: n, TxPerSec: tps, Instances: committed, VirtualSec: last.Seconds(), WallSec: wall, P50Ms: p50, P99Ms: p99}, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
@@ -154,6 +155,10 @@ type Config struct {
 	// the first delivery. Nil verifies inline — same verdicts, one
 	// receiver at a time.
 	Certs *pipeline.Verifier
+
+	// Tracer, when non-nil, records round starts and decisions with
+	// virtual timestamps. Nil disables tracing at zero cost.
+	Tracer *obs.NodeTracer
 }
 
 const defaultCoordTimeout = 400 * time.Millisecond
@@ -337,6 +342,7 @@ func (b *Instance) coordTimeout(r types.Round) time.Duration {
 func (b *Instance) startRound(r types.Round) {
 	b.round = r
 	st := b.state(r)
+	b.cfg.Tracer.Record(b.cfg.Env.Now(), obs.PhaseBinRound, uint64(b.cfg.Instance), b.cfg.Slot, uint32(r), "")
 	b.broadcastEst(r, b.est)
 	// Arm the coordinator timer.
 	if !st.timerSet {
@@ -710,6 +716,7 @@ func (b *Instance) OnDecide(from types.ReplicaID, msg *Decide) {
 		if !b.decided {
 			b.decided = true
 			b.decision = Decision{Slot: msg.Slot, Value: msg.Value, Cert: msg.Cert}
+			b.traceDecide(b.decision)
 			if b.cfg.OnDecide != nil {
 				b.cfg.OnDecide(b.decision)
 			}
@@ -742,6 +749,18 @@ func (b *Instance) OnDecide(from types.ReplicaID, msg *Decide) {
 	}()}, false)
 }
 
+// traceDecide records the binary decision (value encoded as "0"/"1").
+func (b *Instance) traceDecide(d Decision) {
+	if b.cfg.Tracer == nil {
+		return
+	}
+	v := "0"
+	if d.Value {
+		v = "1"
+	}
+	b.cfg.Tracer.Record(b.cfg.Env.Now(), obs.PhaseBinDecide, uint64(b.cfg.Instance), d.Slot, uint32(d.Round), v)
+}
+
 // deliverDecision finalizes the slot (once) and propagates the decision.
 func (b *Instance) deliverDecision(d Decision, own bool) {
 	if b.decided {
@@ -749,6 +768,7 @@ func (b *Instance) deliverDecision(d Decision, own bool) {
 	}
 	b.decided = true
 	b.decision = d
+	b.traceDecide(d)
 	if st, ok := b.rounds[b.round]; ok && st.timerSet {
 		b.cfg.Env.CancelTimer(st.timerID)
 	}

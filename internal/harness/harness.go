@@ -18,6 +18,7 @@ import (
 	"github.com/zeroloss/zlb/internal/crypto"
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
@@ -87,6 +88,11 @@ type Options struct {
 	// SequentialSim). Orthogonal to Sequential: one gates the commit
 	// pipeline, the other gates event dispatch. Bit-identical either way.
 	SequentialSim bool
+	// Tracer, when non-nil, records every replica's consensus lifecycle
+	// into per-node buffers with virtual timestamps (internal/obs). The
+	// merged stream is bit-identical across Sequential/SequentialSim
+	// modes. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Commit records one replica's commit of one instance.
@@ -279,6 +285,7 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 		Deceitful:          c.Coalition.IsDeceitful(id),
 		Certs:              c.Certs,
 		Intern:             c.Intern,
+		Tracer:             c.Opts.Tracer.Node(id),
 		BatchSource: func(k uint64) asmr.Batch {
 			return c.batchFor(id, adv, k)
 		},

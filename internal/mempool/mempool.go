@@ -183,6 +183,42 @@ type Pool struct {
 	bytes     int64
 	seq       uint64
 	evictions uint64
+	admitted  uint64
+	// rejects counts Add failures by reason label (see RejectReason) —
+	// the per-reason series the node metrics endpoint exports.
+	rejects map[string]uint64
+}
+
+// RejectReason maps a typed admission error to its stable metrics label.
+// Unknown errors (including nil) map to "other".
+func RejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrDuplicate):
+		return "duplicate"
+	case errors.Is(err, ErrCommitted):
+		return "committed"
+	case errors.Is(err, ErrAccountCap):
+		return "account_cap"
+	case errors.Is(err, ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, ErrFeeTooLow):
+		return "fee_too_low"
+	case errors.Is(err, ErrPoolFull):
+		return "pool_full"
+	case errors.Is(err, ErrReplaceUnderpriced):
+		return "replace_underpriced"
+	default:
+		return "other"
+	}
+}
+
+// RejectReasons is the complete label set RejectReason can return, in
+// stable order. The node metrics endpoint registers one rejection series
+// per reason up front, so every scrape exposes the full set (zeros
+// included) instead of labels appearing as rejections happen.
+var RejectReasons = []string{
+	"duplicate", "committed", "account_cap", "rate_limited",
+	"fee_too_low", "pool_full", "replace_underpriced", "other",
 }
 
 // New creates an empty pool with the permissive zero policy.
@@ -200,6 +236,7 @@ func NewWithPolicy(policy Policy) *Pool {
 		bySlot:    make(map[slotKey]*entry),
 		committed: make(map[types.Digest]struct{}),
 		rates:     make(map[utxo.Address]rateBucket),
+		rejects:   make(map[string]uint64),
 	}
 }
 
@@ -238,10 +275,12 @@ func (p *Pool) Add(tx *utxo.Transaction) error {
 	id := tx.ID()
 	p.mu.Lock()
 	if _, done := p.committed[id]; done {
+		p.rejects[RejectReason(ErrCommitted)]++
 		p.mu.Unlock()
 		return ErrCommitted
 	}
 	if _, dup := p.pending[id]; dup {
+		p.rejects[RejectReason(ErrDuplicate)]++
 		p.mu.Unlock()
 		return ErrDuplicate
 	}
@@ -258,9 +297,11 @@ func (p *Pool) Add(tx *utxo.Transaction) error {
 		size:   int64(tx.CanonicalSize()),
 	}
 	if err := p.admit(e); err != nil {
+		p.rejects[RejectReason(err)]++
 		p.mu.Unlock()
 		return err
 	}
+	p.admitted++
 	fn := p.preverify
 	p.mu.Unlock()
 	if fn != nil {
@@ -422,6 +463,34 @@ func (p *Pool) Evictions() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.evictions
+}
+
+// Stats is a point-in-time snapshot of the pool's counters, the shape
+// the node metrics endpoint scrapes.
+type Stats struct {
+	Pending   int    `json:"pending"`
+	Bytes     int64  `json:"bytes"`
+	Admitted  uint64 `json:"admitted"`
+	Evictions uint64 `json:"evictions"`
+	// Rejects counts Add failures by reason label (copy; safe to retain).
+	Rejects map[string]uint64 `json:"rejects,omitempty"`
+}
+
+// Stats snapshots the pool counters in one lock acquisition.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{
+		Pending:   len(p.pending),
+		Bytes:     p.bytes,
+		Admitted:  p.admitted,
+		Evictions: p.evictions,
+		Rejects:   make(map[string]uint64, len(p.rejects)),
+	}
+	for k, v := range p.rejects {
+		s.Rejects[k] = v
+	}
+	return s
 }
 
 // Take returns up to max pending transactions without removing them

@@ -18,6 +18,7 @@ import (
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/simnet"
 	"github.com/zeroloss/zlb/internal/types"
 )
@@ -151,6 +152,9 @@ type Config struct {
 	// across the whole deployment (one copy per distinct proposal instead
 	// of one per replica). Nil keeps per-message slices.
 	Intern *Intern
+	// Tracer, when set, records the slot's lifecycle span events
+	// (rbc_init at the broadcaster). Nil disables tracing at zero cost.
+	Tracer *obs.NodeTracer
 }
 
 // Instance is the state machine for one reliable-broadcast slot at one
@@ -243,6 +247,7 @@ func (r *Instance) Broadcast(payload []byte, claimedBytes, claimedSigs int) {
 	if r.cfg.Self != r.cfg.Broadcaster {
 		panic("rbc: Broadcast called by non-broadcaster")
 	}
+	r.cfg.Tracer.Record(r.cfg.Env.Now(), obs.PhaseRBCInit, uint64(r.cfg.Instance), uint32(r.cfg.Broadcaster), 0, "")
 	if eq := r.cfg.Equivocator; eq != nil && eq.InitFor != nil {
 		// Deceitful broadcaster: per-recipient payloads (rbcast attack).
 		for _, m := range r.cfg.View.Members() {

@@ -20,6 +20,7 @@ import (
 	"github.com/zeroloss/zlb/internal/bincon"
 	"github.com/zeroloss/zlb/internal/committee"
 	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/simnet"
@@ -198,6 +199,10 @@ type Config struct {
 	// digest for 1-decisions (zero if the payload has not arrived yet).
 	OnSlotDecide func(slot types.ReplicaID, value bool, digest types.Digest)
 	Adversary    *Adversary
+	// Tracer, when non-nil, records proposal deliveries and the instance
+	// decision with virtual timestamps, and is threaded into the
+	// sub-protocols. Nil disables tracing at zero cost.
+	Tracer *obs.NodeTracer
 	// Slots overrides the proposer slot set (default: View members at
 	// creation). The exclusion consensus sets it to the full committee C
 	// so every honest replica runs the same slot set even though their
@@ -301,6 +306,7 @@ func (s *Instance) rbcFor(slot types.ReplicaID) *rbc.Instance {
 			Accountable: s.cfg.Accountable,
 			Equivocator: eq,
 			Intern:      s.cfg.Intern,
+			Tracer:      s.cfg.Tracer,
 			OnDeliver:   func(d rbc.Delivery) { s.onDeliver(d) },
 		})
 		s.rbcs[slot] = r
@@ -328,6 +334,7 @@ func (s *Instance) binFor(slot types.ReplicaID) *bincon.Instance {
 			Equivocator:  eq,
 			CoordTimeout: s.cfg.CoordTimeout,
 			Certs:        s.cfg.Certs,
+			Tracer:       s.cfg.Tracer,
 			OnDecide:     func(d bincon.Decision) { s.onBinDecide(d) },
 		})
 		s.bins[slot] = b
@@ -355,6 +362,7 @@ func (s *Instance) onDeliver(d rbc.Delivery) {
 	if s.cfg.OnProposal != nil {
 		s.cfg.OnProposal(d.Payload)
 	}
+	s.cfg.Tracer.Record(s.cfg.Env.Now(), obs.PhaseRBCDeliver, uint64(s.cfg.Instance), uint32(d.Broadcaster), 0, "")
 	s.delivered[d.Broadcaster] = d
 	// A delivered proposal votes 1 for its slot.
 	s.binFor(d.Broadcaster).Propose(true)
@@ -438,6 +446,7 @@ func (s *Instance) maybeComplete() {
 		}
 	}
 	s.decision = dec
+	s.cfg.Tracer.Record(s.cfg.Env.Now(), obs.PhaseSBCDecide, uint64(s.cfg.Instance), 0, 0, "")
 	if s.cfg.OnDecide != nil {
 		s.cfg.OnDecide(dec)
 	}

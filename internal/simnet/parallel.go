@@ -38,12 +38,15 @@ import (
 // and a one-node window degenerates to an inline Map call.
 const minParallelNodes = 4
 
-// parallelOK reports whether window execution is currently usable. Trace
-// observes deliveries in processing order, so tracing forces the
-// sequential loop; so does DeliverRule, which rewrites messages at
-// delivery time and must see them one at a time, in order.
+// parallelOK reports whether window execution is currently usable.
+// DeliverRule rewrites messages at delivery time and must see them one
+// at a time, in order, so it forces the sequential loop. Trace does NOT:
+// each delivered invocation records its completion time, sender and
+// message while executing on its worker, and the merge replays the hook
+// in the exact sequential pop order (see runWindow) — the trace stream
+// is bit-identical to the sequential loop's.
 func (n *Network) parallelOK() bool {
-	return n.lookahead > 0 && !n.cfg.SequentialSim && n.Trace == nil &&
+	return n.lookahead > 0 && !n.cfg.SequentialSim &&
 		n.DeliverRule == nil && len(n.order) >= minParallelNodes
 }
 
@@ -74,9 +77,16 @@ type winCreation struct {
 
 // winRec is one delivered invocation's creation span: creations[start:end)
 // in creation order. Invocations never nest (the per-node loop is flat),
-// so spans are contiguous.
+// so spans are contiguous. When the network's Trace hook is set, the rec
+// additionally carries the delivery metadata the merge needs to replay
+// the hook in sequential pop order; the fields stay zero otherwise.
 type winRec struct {
 	start, end int32
+
+	isDeliver bool
+	done      time.Duration
+	from      types.ReplicaID
+	msg       Message
 }
 
 // localEvent is one pending entry of a node's in-window queue, ordered by
@@ -243,6 +253,9 @@ func (w *winNode) reset() {
 		w.creations[i] = winCreation{}
 	}
 	w.creations = w.creations[:0]
+	for i := range w.recs {
+		w.recs[i] = winRec{} // release msg references held for Trace replay
+	}
 	w.recs = w.recs[:0]
 	w.lq = w.lq[:0]
 	w.localCtr = 0
@@ -307,6 +320,13 @@ func (w *winNode) run() {
 				w.maxDone = done
 			}
 			w.delivered++
+			if n.Trace != nil {
+				rec := &w.recs[recIdx]
+				rec.isDeliver = true
+				rec.done = done
+				rec.from = from
+				rec.msg = msg
+			}
 			st.handler.OnMessage(from, msg)
 		case evTimer:
 			st.busyUntil = start
@@ -497,6 +517,12 @@ func (n *Network) runWindow(tEnd time.Duration) (int, bool) {
 					timerID: c.timerID, timerEpoch: c.timerEpoch, payload: c.payload,
 				})
 			}
+		}
+		// Replay the Trace hook at this invocation's sequential position:
+		// the sequential loop calls it right after the handler returns
+		// (sends already sequenced), which is exactly here.
+		if n.Trace != nil && rec.isDeliver {
+			n.Trace(rec.done, rec.from, it.w.st.id, rec.msg)
 		}
 	}
 

@@ -239,19 +239,43 @@ func TestParallelUnboundedModelFallsBack(t *testing.T) {
 	}
 }
 
-// TestParallelTraceFallsBack pins that installing Trace (processing-order
-// observation) disables windows without changing results.
-func TestParallelTraceFallsBack(t *testing.T) {
-	n, _ := buildChatterNet(6, latency.Fixed(time.Millisecond), CostModel{}, false, 0)
-	traced := 0
-	n.Trace = func(time.Duration, types.ReplicaID, types.ReplicaID, Message) { traced++ }
-	if n.parallelOK() {
-		t.Fatal("parallelOK with Trace installed")
+// TestTraceParallelMatchesSequential pins the Trace replay contract:
+// installing Trace must NOT disable parallel windows (it used to force
+// the sequential loop silently), and the hook must observe every
+// delivery in the exact order, with the exact timestamps, senders,
+// receivers and messages the sequential loop produces — the merge
+// replays recorded deliveries at their sequential pop positions.
+func TestTraceParallelMatchesSequential(t *testing.T) {
+	widenPool()
+	run := func(seqSim bool) (string, string) {
+		n, handlers := buildChatterNet(6, latency.Uniform(900*time.Microsecond, 7*time.Millisecond), DefaultCostModel(), seqSim, 0)
+		var trace string
+		n.Trace = func(at time.Duration, from, to types.ReplicaID, msg Message) {
+			p := msg.(*ping)
+			trace += fmt.Sprintf("at=%d %d->%d hop=%d tag=%s\n", at, from, to, p.Hop, p.Tag)
+		}
+		if !seqSim && !n.parallelOK() {
+			t.Fatal("Trace disabled parallel windows")
+		}
+		for i := 0; i < 3; i++ {
+			n.Inject(100, types.ReplicaID(i+1), &ping{Hop: 0, Tag: fmt.Sprintf("seed%d", i), Size: 256}, time.Duration(i)*time.Millisecond)
+		}
+		n.Run(40 * time.Millisecond)
+		n.RunUntilQuiet(500 * time.Millisecond)
+		return trace, fingerprint(n, handlers)
 	}
-	n.Inject(100, 1, &ping{Hop: 0, Tag: "x", Size: 64}, 0)
-	n.RunUntilQuiet(100 * time.Millisecond)
-	if traced == 0 {
+	seqTrace, seqFp := run(true)
+	parTrace, parFp := run(false)
+	if seqTrace == "" {
 		t.Fatal("trace never fired")
+	}
+	if seqTrace != parTrace {
+		da, db := diffHead(seqTrace, parTrace)
+		t.Fatalf("trace streams diverged:\n--- seq\n%s\n--- par\n%s", da, db)
+	}
+	if seqFp != parFp {
+		da, db := diffHead(seqFp, parFp)
+		t.Fatalf("fingerprints diverged with Trace installed:\n--- seq\n%s\n--- par\n%s", da, db)
 	}
 }
 

@@ -297,7 +297,12 @@ type Network struct {
 	Exhausted bool
 
 	// Trace, if set, observes every delivery (after processing cost is
-	// charged). Used by the metrics harness.
+	// charged). Used by the metrics harness. Tracing does not disable
+	// parallel windows: deliveries executed inside a window are replayed
+	// to the hook during the deterministic merge, in the exact order and
+	// with the exact timestamps the sequential loop would produce
+	// (TestTraceParallelMatchesSequential pins this). The hook runs on
+	// the coordinating goroutine in both modes.
 	Trace func(at time.Duration, from, to types.ReplicaID, msg Message)
 
 	// DropRule, if set, drops matching messages (benign omission faults,

@@ -33,6 +33,7 @@ var readmeRequired = []string{
 	"internal/conformance",
 	"internal/mempool",
 	"internal/load",
+	"internal/obs",
 }
 
 func main() {

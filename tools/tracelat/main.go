@@ -1,0 +1,240 @@
+// Command tracelat turns a deterministic consensus trace (the JSONL
+// stream zlb-bench -trace-out writes, internal/obs format) into a
+// per-phase latency breakdown: for every run header in the stream it
+// prints nearest-rank p50/p99 virtual-time latencies of the transaction
+// lifecycle phases.
+//
+//	zlb-bench -experiment fig3 -ns 9,18 -trace-out trace.jsonl
+//	tracelat trace.jsonl        # or: tracelat < trace.jsonl
+//
+// Phases (all samples are virtual durations, per (instance, slot) or
+// (instance, node) pair):
+//
+//	rbc     reliable broadcast: proposal delivery at each replica minus
+//	        the broadcaster's rbc_init
+//	bincon  binary consensus: per-slot decision minus that replica's
+//	        proposal delivery for the slot
+//	cert    superblock assembly: sbc_decide minus the replica's last
+//	        per-slot binary decision of the instance
+//	commit  application commit: commit minus sbc_decide at the replica
+//	e2e     batch_propose (earliest across replicas) to commit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/asmr"
+	"github.com/zeroloss/zlb/internal/obs"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracelat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := analyze(in, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracelat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is one header's worth of events.
+type run struct {
+	header obs.RunHeader
+	events []obs.Event
+}
+
+func analyze(in io.Reader, out io.Writer) error {
+	runs, err := readRuns(in)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("no run headers in input (is this a -trace-out file?)")
+	}
+	for i, r := range runs {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		printBreakdown(out, r)
+	}
+	return nil
+}
+
+func readRuns(in io.Reader) ([]*run, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var runs []*run
+	var cur *run
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		header, ev, err := obs.ParseJSONLLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if header != nil {
+			cur = &run{header: *header}
+			runs = append(runs, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: event before any run header", line)
+		}
+		cur.events = append(cur.events, ev)
+	}
+	return runs, sc.Err()
+}
+
+// kSlotNode keys a per-(instance, slot, replica) sample; node 0 (never a
+// replica ID) collapses the key to per-(instance, slot).
+type kSlotNode struct {
+	k    uint64
+	slot uint32
+	node types.ReplicaID
+}
+
+// logicalK maps an event's K to the logical chain instance: consensus
+// sub-protocol phases carry the asmr wire instance (k<<10|attempt),
+// application-level phases carry k directly.
+func logicalK(ev obs.Event) uint64 {
+	switch ev.Phase {
+	case obs.PhaseRBCInit, obs.PhaseRBCDeliver, obs.PhaseBinRound,
+		obs.PhaseBinDecide, obs.PhaseSBCDecide:
+		k, _ := asmr.SplitInstance(types.Instance(ev.K))
+		return k
+	default:
+		return ev.K
+	}
+}
+
+func printBreakdown(out io.Writer, r *run) {
+	// First-occurrence indexes per phase. Later duplicates (a re-recorded
+	// phase after a restart) keep the first timestamp, matching the
+	// happy-path lifecycle the breakdown measures.
+	rbcInit := map[kSlotNode]time.Duration{}    // broadcaster's init per (k, slot)
+	rbcDeliver := map[kSlotNode]time.Duration{} // delivery per (k, slot, node)
+	binDecide := map[kSlotNode]time.Duration{}  // decision per (k, slot, node)
+	lastBin := map[kSlotNode]time.Duration{}    // last bincon_decide per (k, node)
+	sbcDecide := map[kSlotNode]time.Duration{}  // per (k, node)
+	commitAt := map[kSlotNode]time.Duration{}   // per (k, node)
+	proposeAt := map[uint64]time.Duration{}     // earliest batch_propose per k
+
+	first := func(m map[kSlotNode]time.Duration, key kSlotNode, at time.Duration) {
+		if _, ok := m[key]; !ok {
+			m[key] = at
+		}
+	}
+	for _, ev := range r.events {
+		k := logicalK(ev)
+		switch ev.Phase {
+		case obs.PhaseRBCInit:
+			// The broadcaster records its own init; Slot carries the
+			// broadcaster ID, which must match the recording node.
+			if types.ReplicaID(ev.Slot) == ev.Node {
+				first(rbcInit, kSlotNode{k: k, slot: ev.Slot}, ev.At)
+			}
+		case obs.PhaseRBCDeliver:
+			first(rbcDeliver, kSlotNode{k: k, slot: ev.Slot, node: ev.Node}, ev.At)
+		case obs.PhaseBinDecide:
+			first(binDecide, kSlotNode{k: k, slot: ev.Slot, node: ev.Node}, ev.At)
+			kn := kSlotNode{k: k, node: ev.Node}
+			if ev.At > lastBin[kn] {
+				lastBin[kn] = ev.At
+			}
+		case obs.PhaseSBCDecide:
+			first(sbcDecide, kSlotNode{k: k, node: ev.Node}, ev.At)
+		case obs.PhaseCommit:
+			first(commitAt, kSlotNode{k: k, node: ev.Node}, ev.At)
+		case obs.PhaseBatchPropose:
+			if at, ok := proposeAt[k]; !ok || ev.At < at {
+				proposeAt[k] = ev.At
+			}
+		}
+	}
+
+	var rbc, bincon, cert, commit, e2e []time.Duration
+	for key, at := range rbcDeliver {
+		if init, ok := rbcInit[kSlotNode{k: key.k, slot: key.slot}]; ok && at >= init {
+			rbc = append(rbc, at-init)
+		}
+		if dec, ok := binDecide[key]; ok && dec >= at {
+			bincon = append(bincon, dec-at)
+		}
+	}
+	for kn, at := range sbcDecide {
+		if last, ok := lastBin[kn]; ok && at >= last {
+			cert = append(cert, at-last)
+		}
+		if cm, ok := commitAt[kn]; ok && cm >= at {
+			commit = append(commit, cm-at)
+		}
+	}
+	for kn, cm := range commitAt {
+		if prop, ok := proposeAt[kn.k]; ok && cm >= prop {
+			e2e = append(e2e, cm-prop)
+		}
+	}
+
+	h := r.header
+	sys := h.System
+	if sys == "" {
+		sys = "-"
+	}
+	fmt.Fprintf(out, "# latency breakdown: experiment=%s system=%s n=%d seed=%d events=%d\n",
+		h.Experiment, sys, h.N, h.Seed, len(r.events))
+	fmt.Fprintf(out, "%-8s %8s %12s %12s\n", "phase", "samples", "p50", "p99")
+	for _, row := range []struct {
+		name    string
+		samples []time.Duration
+	}{
+		{"rbc", rbc}, {"bincon", bincon}, {"cert", cert}, {"commit", commit}, {"e2e", e2e},
+	} {
+		p50, p99 := percentiles(row.samples)
+		if len(row.samples) == 0 {
+			fmt.Fprintf(out, "%-8s %8d %12s %12s\n", row.name, 0, "-", "-")
+			continue
+		}
+		fmt.Fprintf(out, "%-8s %8d %12s %12s\n", row.name, len(row.samples), fmtDur(p50), fmtDur(p99))
+	}
+}
+
+// percentiles returns nearest-rank p50/p99 (0 on empty input).
+func percentiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

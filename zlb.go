@@ -49,6 +49,7 @@ import (
 	"github.com/zeroloss/zlb/internal/latency"
 	"github.com/zeroloss/zlb/internal/membership"
 	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/payment"
 	"github.com/zeroloss/zlb/internal/pipeline"
 	"github.com/zeroloss/zlb/internal/sbc"
@@ -176,6 +177,14 @@ type Config struct {
 	// honest partitions while the attack runs (default 3000 when an
 	// attack is configured).
 	PartitionDelayMs int
+
+	// Tracer, when set, records the deterministic consensus trace of the
+	// whole deployment (internal/obs): transaction admission at the
+	// observer replica, every replica's consensus lifecycle, and branch
+	// merges, all with virtual timestamps. The merged event stream is
+	// bit-identical across SequentialCommit/SequentialSim modes. Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 
 	// OnBlock, if set, observes every committed block at replica 1.
 	OnBlock func(k uint64, txs int)
@@ -353,6 +362,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		WaitForWork:    true,
 		Sequential:     cfg.SequentialCommit,
 		SequentialSim:  cfg.SequentialSim,
+		Tracer:         cfg.Tracer,
 		CoordTimeout: func(r types.Round) time.Duration {
 			return 150 * time.Millisecond * time.Duration(r+1)
 		},
@@ -503,6 +513,16 @@ func (c *Cluster) Submit(tx *Transaction) error {
 			verdict = err
 		}
 	}
+	// Admission events carry the global virtual clock: Submit runs between
+	// simulation events, when the global clock is deterministic too.
+	if c.cfg.Tracer != nil {
+		nt := c.cfg.Tracer.Node(observer)
+		if verdict == nil {
+			nt.Record(c.inner.Net.Now(), obs.PhaseMempoolAdmit, 0, 0, 0, "")
+		} else {
+			nt.Record(c.inner.Net.Now(), obs.PhaseMempoolReject, 0, 0, 0, mempool.RejectReason(verdict))
+		}
+	}
 	for _, id := range c.inner.Members {
 		c.inner.Replicas[id].Kick()
 	}
@@ -552,6 +572,7 @@ func (c *Cluster) bindNode(r *asmr.Replica, n *node) {
 // must come from the replica's per-event time, which is bit-identical
 // across sequential and parallel simulation modes.
 func (c *Cluster) harnessConfigFor(r *asmr.Replica, n *node) asmr.AppBindings {
+	nt := c.cfg.Tracer.Node(n.id) // nil when tracing is off
 	return asmr.AppBindings{
 		BatchSource: func(k uint64) asmr.Batch {
 			// Take up to BatchTxs pending transactions; an empty mempool
@@ -598,6 +619,7 @@ func (c *Cluster) harnessConfigFor(r *asmr.Replica, n *node) asmr.AppBindings {
 		},
 		OnDisagreement: func(k uint64, _, remote *sbc.Decision) {
 			// Reconciliation (phase ⑤): merge the conflicting branch.
+			nt.Record(r.Now(), obs.PhaseMerge, k, 0, 0, "")
 			block := c.blockFrom(k, remote)
 			n.ledger.MergeBlock(block)
 			n.persistBlock(block, 0, true)
