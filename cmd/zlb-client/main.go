@@ -32,22 +32,32 @@ func main() {
 	to := flag.String("to", "", "recipient address prefix (hex) or empty for a demo recipient")
 	amount := flag.Uint64("amount", 1000, "coins to transfer")
 	count := flag.Int("count", 1, "number of transactions to submit")
+	schemeName := flag.String("scheme", "ed25519", "transaction signature scheme: ed25519 or ecdsa (must match the nodes' -scheme)")
 	flag.Parse()
 
 	if *peersFlag == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(strings.Split(*peersFlag, ","), *seed, *to, types.Amount(*amount), *count); err != nil {
+	if err := run(strings.Split(*peersFlag, ","), *seed, *schemeName, *to, types.Amount(*amount), *count); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addrs []string, seed int64, toHex string, amount types.Amount, count int) error {
+func run(addrs []string, seed int64, schemeName, toHex string, amount types.Amount, count int) error {
 	transport.RegisterWireTypes()
 
-	reg := crypto.NewRegistry(crypto.SchemeEd25519)
-	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	var kind crypto.SchemeKind
+	switch schemeName {
+	case "", "ed25519":
+		kind = crypto.SchemeEd25519
+	case "ecdsa", "ecdsa-p256":
+		kind = crypto.SchemeECDSA
+	default:
+		return fmt.Errorf("unknown -scheme %q (want ed25519 or ecdsa)", schemeName)
+	}
+	reg := crypto.NewRegistry(kind)
+	scheme, err := crypto.NewScheme(kind, reg)
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,8 @@ func main() {
 	checkpointEvery := flag.Uint64("checkpoint-every", 16, "blocks between UTXO checkpoints")
 	sync := flag.Bool("sync", false, "bootstrap an empty -data-dir from peers (checkpoint + log tail) before joining")
 	sequential := flag.Bool("sequential", false, "disable the multi-core commit pipeline (verify and apply inline)")
+	schemeName := flag.String("scheme", "ed25519", "signature scheme for the demo PKI and transactions: ed25519 or ecdsa (must match peers and clients)")
+	aggregateCerts := flag.Bool("aggregate-certs", false, "assemble aggregate certificates when the scheme supports aggregation (falls back to signed statements otherwise)")
 	poolMax := flag.Int("mempool-max", 0, "mempool admission: max pending transactions (0 = unlimited)")
 	poolMaxBytes := flag.Int64("mempool-max-bytes", 0, "mempool admission: max pending canonical bytes (0 = unlimited)")
 	poolAcctCap := flag.Int("mempool-account-cap", 0, "mempool admission: max pending transactions per sender (0 = unlimited)")
@@ -101,6 +103,8 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		Sync:            *sync,
 		Sequential:      *sequential,
+		Scheme:          *schemeName,
+		AggregateCerts:  *aggregateCerts,
 		Mempool: mempool.Policy{
 			MaxTxs:         *poolMax,
 			MaxBytes:       *poolMaxBytes,
@@ -174,6 +178,18 @@ type nodeConfig struct {
 	// transaction signatures and block application run inline on the
 	// event loop. The chain is bit-identical either way.
 	Sequential bool
+	// Scheme names the signature scheme for both the demo consensus PKI
+	// and transaction signatures: "ed25519" (default) or "ecdsa". Every
+	// node and client of a deployment must agree. "sim" is rejected —
+	// its registry-backed MACs cannot authenticate out-of-process
+	// clients.
+	Scheme string
+	// AggregateCerts requests aggregate certificate assembly. It only
+	// takes effect when the consensus scheme implements
+	// crypto.Aggregator; the demo ed25519/ecdsa PKIs do not, so
+	// certificates stay in signed-statement form and the flag is
+	// forward plumbing for aggregation-capable schemes.
+	AggregateCerts bool
 	// Mempool is the admission policy the replica's pool enforces (zero
 	// value = permissive arrival-order queueing). Rate windows run on
 	// wall time since process start.
@@ -240,13 +256,32 @@ type (
 	syncRetry    struct{}
 )
 
+// nodeSchemeKind resolves the -scheme flag. The empty string (tests
+// building nodeConfig directly) means ed25519, matching the flag default.
+func nodeSchemeKind(name string) (crypto.SchemeKind, error) {
+	switch name {
+	case "", "ed25519":
+		return crypto.SchemeEd25519, nil
+	case "ecdsa", "ecdsa-p256":
+		return crypto.SchemeECDSA, nil
+	case "sim":
+		return 0, fmt.Errorf("-scheme sim is registry-internal and cannot authenticate clients (use ed25519 or ecdsa)")
+	default:
+		return 0, fmt.Errorf("unknown -scheme %q (want ed25519 or ecdsa)", name)
+	}
+}
+
 func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	transport.RegisterWireTypes()
 	if cfg.SyncTimeout == 0 {
 		cfg.SyncTimeout = 5 * time.Second
 	}
 
-	signers, _, err := crypto.GenerateCluster(crypto.SchemeEd25519, cfg.N, cfg.Seed)
+	kind, err := nodeSchemeKind(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	signers, _, err := crypto.GenerateCluster(kind, cfg.N, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("deriving demo PKI: %w", err)
 	}
@@ -277,9 +312,10 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	}
 	rn.node = transport.NewNode(transport.Config{Self: cfg.Self, Listen: cfg.Listen, Peers: peers})
 
-	// Payment application state.
-	txReg := crypto.NewRegistry(crypto.SchemeEd25519)
-	txScheme, err := crypto.NewScheme(crypto.SchemeEd25519, txReg)
+	// Payment application state (same scheme as the consensus PKI, so one
+	// -scheme flag keeps nodes and clients in agreement).
+	txReg := crypto.NewRegistry(kind)
+	txScheme, err := crypto.NewScheme(kind, txReg)
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +369,7 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 		Accountable:      true,
 		Recover:          true,
 		WaitForWork:      true,
+		AggregateCerts:   cfg.AggregateCerts,
 		Certs:            rn.certs,
 		// One canonical copy per proposal digest: a node stores a pulled
 		// PayloadResp and the original Init as the same bytes.

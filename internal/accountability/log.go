@@ -106,9 +106,21 @@ func (l *Log) RecordVerify(s Signed) bool {
 }
 
 // RecordCertificate ingests every signature of a certificate. The caller
-// is expected to have verified the certificate.
+// is expected to have verified the certificate. Aggregate-form
+// certificates are expanded back to per-signer signed statements through
+// the log's verifier (crypto.SignatureExtractor), so equivocation
+// evidence inside an aggregate still attributes each culprit; a scheme
+// that cannot extract contributes nothing (its aggregates carry no
+// per-signer evidence by construction).
 func (l *Log) RecordCertificate(c *Certificate) {
-	for _, s := range c.Sigs {
+	sigs := c.Sigs
+	if c.Agg != nil {
+		var ok bool
+		if sigs, ok = c.ExtractSigned(l.verifier); !ok {
+			return
+		}
+	}
+	for _, s := range sigs {
 		l.Record(s)
 	}
 }

@@ -163,14 +163,10 @@ func decisionBytes(d *sbc.Decision) int {
 		}
 	}
 	for _, c := range d.BinCerts {
-		if c != nil {
-			n += 130 * len(c.Sigs)
-		}
+		n += c.ModelBytes()
 	}
 	for _, c := range d.ReadyCerts {
-		if c != nil {
-			n += 130 * len(c.Sigs)
-		}
+		n += c.ModelBytes()
 	}
 	return n
 }
@@ -181,14 +177,10 @@ func decisionSigOps(d *sbc.Decision) int {
 	}
 	ops := 0
 	for _, c := range d.BinCerts {
-		if c != nil {
-			ops += len(c.Sigs)
-		}
+		ops += c.SigOps()
 	}
 	for _, c := range d.ReadyCerts {
-		if c != nil {
-			ops += len(c.Sigs)
-		}
+		ops += c.SigOps()
 	}
 	for _, p := range d.Proposals {
 		ops += p.ClaimedSigs

@@ -88,6 +88,14 @@ type Config struct {
 	// certificate for the whole deployment and signature checks fan out
 	// across the worker pool. Nil verifies inline.
 	Certs *pipeline.Verifier
+	// AggregateCerts assembles certificates in aggregate form — one
+	// aggregate signature plus a signer bitmap instead of a quorum of
+	// signed statements — whenever the signer's scheme implements
+	// crypto.Aggregator. Threaded into every consensus this replica runs
+	// (main, exclusion, inclusion). Schemes without the capability fall
+	// back to signed-statement certificates; defaults off, which keeps
+	// the wire and cost model bit-identical to the pre-aggregate code.
+	AggregateCerts bool
 	// Intern, when set, canonicalizes reliable-broadcast payload bytes by
 	// digest across the deployment — one copy of each proposal instead of
 	// one per replica (rbc.Config.Intern). Nil keeps per-message slices.
@@ -483,18 +491,19 @@ func (r *Replica) buildSBC(k uint64, st *instState) *sbc.Instance {
 		adv = nil
 	}
 	return sbc.New(sbc.Config{
-		Context:      accountability.CtxMain,
-		Instance:     WireInstance(k, st.attempt),
-		Self:         r.cfg.Self,
-		View:         r.view,
-		Signer:       r.cfg.Signer,
-		Log:          r.logIfAccountable(),
-		Env:          r.cfg.Env,
-		Accountable:  r.cfg.Accountable,
-		CoordTimeout: r.cfg.CoordTimeout,
-		Certs:        r.cfg.Certs,
-		Intern:       r.cfg.Intern,
-		Tracer:       r.cfg.Tracer,
+		Context:        accountability.CtxMain,
+		Instance:       WireInstance(k, st.attempt),
+		Self:           r.cfg.Self,
+		View:           r.view,
+		Signer:         r.cfg.Signer,
+		Log:            r.logIfAccountable(),
+		Env:            r.cfg.Env,
+		Accountable:    r.cfg.Accountable,
+		AggregateCerts: r.cfg.AggregateCerts,
+		CoordTimeout:   r.cfg.CoordTimeout,
+		Certs:          r.cfg.Certs,
+		Intern:         r.cfg.Intern,
+		Tracer:         r.cfg.Tracer,
 		OnProposal: func(payload []byte) {
 			if r.cfg.OnProposal != nil {
 				r.cfg.OnProposal(st.k, payload)
@@ -729,16 +738,17 @@ func (r *Replica) maybeStartChange() {
 		}
 	}
 	r.change = membership.NewChange(membership.Config{
-		Epoch:        r.epoch + 1,
-		Self:         r.cfg.Self,
-		Signer:       r.cfg.Signer,
-		Log:          r.log,
-		Env:          r.cfg.Env,
-		Committee:    r.view.MembersCopy(),
-		Pool:         r.pool,
-		TargetSize:   r.view.Size(),
-		CoordTimeout: r.cfg.CoordTimeout,
-		OnResult:     func(res *membership.Result) { r.onChangeResult(res) },
+		Epoch:          r.epoch + 1,
+		Self:           r.cfg.Self,
+		Signer:         r.cfg.Signer,
+		Log:            r.log,
+		Env:            r.cfg.Env,
+		Committee:      r.view.MembersCopy(),
+		Pool:           r.pool,
+		TargetSize:     r.view.Size(),
+		CoordTimeout:   r.cfg.CoordTimeout,
+		AggregateCerts: r.cfg.AggregateCerts,
+		OnResult:       func(res *membership.Result) { r.onChangeResult(res) },
 	})
 	// Exclusion traffic from peers that started before us is waiting.
 	r.replayPending()

@@ -99,6 +99,18 @@ func VerifyDecisionWith(certs *pipeline.Verifier, v *crypto.Signer, d *sbc.Decis
 				rc.Stmt.Value != p.Digest {
 				return fmt.Errorf("%w: ready cert slot %v", ErrWrongContext, id)
 			}
+			if rc.IsAggregate() {
+				// Aggregate ready certificates: one cached check for
+				// structure + aggregate signature, then the 2t+1 rule on
+				// the explicit signer set.
+				if certs.VerifyCertSigs(rc, v) != nil {
+					return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+				}
+				if rc.SignerCount(nil) < readyMin {
+					return fmt.Errorf("%w: ready cert slot %v below 2t+1", ErrBadCert, id)
+				}
+				continue
+			}
 			seen := types.NewReplicaSet()
 			for _, sig := range rc.Sigs {
 				if sig.Stmt != rc.Stmt {
@@ -156,6 +168,15 @@ func verifyDecisionLegacy(v *crypto.Signer, d *sbc.Decision, n int) error {
 				rc.Stmt.Slot != uint32(id) ||
 				rc.Stmt.Value != p.Digest {
 				return fmt.Errorf("%w: ready cert slot %v", ErrWrongContext, id)
+			}
+			if rc.IsAggregate() {
+				if rc.VerifySigs(v) != nil {
+					return fmt.Errorf("%w: ready cert slot %v", ErrBadCert, id)
+				}
+				if rc.SignerCount(nil) < readyMin {
+					return fmt.Errorf("%w: ready cert slot %v below 2t+1", ErrBadCert, id)
+				}
+				continue
 			}
 			seen := types.NewReplicaSet()
 			for _, sig := range rc.Sigs {

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/bincon"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+	"github.com/zeroloss/zlb/internal/wire"
+)
+
+// CertsPoint is one row of the certificate-size experiment: the measured
+// cost of a quorum certificate for one committee size, scheme and form.
+// WireBytes is the actual internal/wire encoding length; ModelBytes and
+// DecideBytes/SigOps are what the simulator's cost model charges (the
+// numbers that move virtual-time results when AggregateCerts is on).
+type CertsPoint struct {
+	N          int    `json:"n"`
+	Quorum     int    `json:"quorum"`
+	Scheme     string `json:"scheme"`
+	Form       string `json:"form"` // "signed" | "aggregate"
+	WireBytes  int    `json:"wire_bytes"`
+	ModelBytes int    `json:"model_bytes"`
+	// DecideBytes is the modeled size of one bincon DECIDE message
+	// carrying this certificate (the per-slot message every decision
+	// broadcast and catch-up transfer pays per certificate).
+	DecideBytes int `json:"decide_bytes"`
+	SigOps      int `json:"sig_ops"`
+}
+
+// RunCerts measures quorum certificates across committee sizes, schemes
+// and forms: real keys, real signatures, real wire encodings. Schemes
+// without the crypto.Aggregator capability contribute only their signed
+// row — that absence is the point of the capability matrix.
+func RunCerts(ns []int, seed int64) ([]CertsPoint, error) {
+	var out []CertsPoint
+	for _, n := range ns {
+		for _, kind := range []crypto.SchemeKind{crypto.SchemeECDSA, crypto.SchemeEd25519, crypto.SchemeSim} {
+			signers, reg, err := crypto.GenerateCluster(kind, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			stmt := accountability.Statement{
+				Context:  accountability.CtxMain,
+				Kind:     accountability.KindAux,
+				Instance: 1,
+				Value:    accountability.BoolDigest(true),
+			}
+			quorum := types.Quorum(n)
+			sigs := make([]accountability.Signed, 0, quorum)
+			for _, s := range signers[:quorum] {
+				sg, err := accountability.SignStatement(s, stmt)
+				if err != nil {
+					return nil, err
+				}
+				sigs = append(sigs, sg)
+			}
+			forms := []bool{false}
+			if _, ok := signers[0].Scheme().(crypto.Aggregator); ok {
+				forms = append(forms, true)
+			}
+			for _, aggregate := range forms {
+				cert, err := accountability.NewCertificateFor(signers[0], stmt, sigs, aggregate)
+				if err != nil {
+					return nil, err
+				}
+				data, err := wire.EncodeCertificate(kind, reg, cert)
+				if err != nil {
+					return nil, err
+				}
+				form := "signed"
+				if cert.IsAggregate() {
+					form = "aggregate"
+				}
+				out = append(out, CertsPoint{
+					N:           n,
+					Quorum:      quorum,
+					Scheme:      kind.String(),
+					Form:        form,
+					WireBytes:   len(data),
+					ModelBytes:  cert.ModelBytes(),
+					DecideBytes: (&bincon.Decide{Cert: cert}).SimBytes(),
+					SigOps:      cert.SigOps(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintCerts writes the certificate-size table, with the aggregate
+// shrink factor against the same scheme's signed form.
+func PrintCerts(w io.Writer, points []CertsPoint) {
+	fmt.Fprintln(w, "# Certificate cost per committee size, scheme and form (quorum = ⌈2n/3⌉)")
+	fmt.Fprintf(w, "%6s %8s %-12s %-10s %10s %12s %13s %8s %8s\n",
+		"n", "quorum", "scheme", "form", "wire(B)", "model(B)", "decide(B)", "sigops", "shrink")
+	signedDecide := map[string]int{}
+	for _, p := range points {
+		key := fmt.Sprintf("%d/%s", p.N, p.Scheme)
+		if p.Form == "signed" {
+			signedDecide[key] = p.DecideBytes
+		}
+	}
+	for _, p := range points {
+		shrink := "-"
+		if p.Form == "aggregate" {
+			if base, ok := signedDecide[fmt.Sprintf("%d/%s", p.N, p.Scheme)]; ok && p.DecideBytes > 0 {
+				shrink = fmt.Sprintf("%.1fx", float64(base)/float64(p.DecideBytes))
+			}
+		}
+		fmt.Fprintf(w, "%6d %8d %-12s %-10s %10d %12d %13d %8d %8s\n",
+			p.N, p.Quorum, p.Scheme, p.Form, p.WireBytes, p.ModelBytes, p.DecideBytes, p.SigOps, shrink)
+	}
+}

@@ -87,21 +87,13 @@ type Decide struct {
 	Cert     *accountability.Certificate
 }
 
-// SimBytes implements simnet.Meter.
-func (m *Decide) SimBytes() int {
-	if m.Cert == nil {
-		return 48
-	}
-	return 48 + 130*len(m.Cert.Sigs)
-}
+// SimBytes implements simnet.Meter. The certificate term depends on its
+// form: per-signed-statement for the quorum form (unchanged cost), one
+// aggregate plus a signer bitmap for the aggregate form.
+func (m *Decide) SimBytes() int { return 48 + m.Cert.ModelBytes() }
 
 // SimSigOps implements simnet.Meter.
-func (m *Decide) SimSigOps() int {
-	if m.Cert == nil {
-		return 0
-	}
-	return len(m.Cert.Sigs)
-}
+func (m *Decide) SimSigOps() int { return m.Cert.SigOps() }
 
 // Decision is the output of one binary consensus slot.
 type Decision struct {
@@ -155,6 +147,12 @@ type Config struct {
 	// the first delivery. Nil verifies inline — same verdicts, one
 	// receiver at a time.
 	Certs *pipeline.Verifier
+	// AggregateCerts assembles decision certificates in aggregate form
+	// when the scheme supports it (crypto.Aggregator): one aggregate
+	// signature plus a signer bitmap instead of a quorum of signed
+	// statements. Schemes without the capability fall back to the
+	// signed-statement form regardless of this flag.
+	AggregateCerts bool
 
 	// Tracer, when non-nil, records round starts and decisions with
 	// virtual timestamps. Nil disables tracing at zero cost.
@@ -633,7 +631,7 @@ func (b *Instance) buildCert(r types.Round, v bool) *accountability.Certificate 
 			sigs = append(sigs, st.auxRecv[id])
 		}
 	}
-	cert, err := accountability.NewCertificate(stmt, sigs)
+	cert, err := accountability.NewCertificateFor(b.cfg.Signer, stmt, sigs, b.cfg.AggregateCerts)
 	if err != nil {
 		return nil
 	}

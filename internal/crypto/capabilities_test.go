@@ -1,0 +1,279 @@
+package crypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Regression: Register used to silently overwrite an existing identity's
+// key. A deceitful replica that swapped its key mid-run would make its
+// older signed statements unverifiable — and proof-of-fraud attribution
+// against them impossible — so re-registration with a different key must
+// be rejected.
+func TestRegisterRejectsKeySwap(t *testing.T) {
+	for _, kind := range []SchemeKind{SchemeECDSA, SchemeEd25519, SchemeSim} {
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := NewRegistry(kind)
+			scheme, err := NewScheme(kind, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kp1, err := scheme.GenerateKey(NewDeterministicRand(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kp2, err := scheme.GenerateKey(NewDeterministicRand(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register(1, kp1); err != nil {
+				t.Fatal(err)
+			}
+			// Same key again: idempotent no-op.
+			if err := reg.Register(1, kp1); err != nil {
+				t.Fatalf("re-registering the same key: %v", err)
+			}
+			// Different key: rejected, original binding intact.
+			if err := reg.Register(1, kp2); !errors.Is(err, ErrKeyMismatch) {
+				t.Fatalf("key swap accepted: %v", err)
+			}
+			digest := types.Hash([]byte("old statement"))
+			sig, err := scheme.Sign(kp1, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pk, ok := reg.PublicKeyOf(1)
+			if !ok || !scheme.Verify(pk, digest, sig) {
+				t.Fatal("original key binding lost after rejected swap")
+			}
+		})
+	}
+}
+
+// The registry's canonical signer index is sorted by replica ID no matter
+// the registration order — it is the coordinate system aggregate
+// certificate bitmaps are defined over.
+func TestSignerIndexCanonical(t *testing.T) {
+	reg := NewRegistry(SchemeSim)
+	scheme, err := NewScheme(SchemeSim, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []types.ReplicaID{9, 2, 5}
+	for i, id := range ids {
+		kp, err := scheme.GenerateKey(NewDeterministicRand(int64(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Register(id, kp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []types.ReplicaID{2, 5, 9}
+	for i, id := range want {
+		got, ok := reg.SignerAt(i)
+		if !ok || got != id {
+			t.Fatalf("SignerAt(%d) = %v, %v; want %v", i, got, ok, id)
+		}
+		idx, ok := reg.SignerIndex(id)
+		if !ok || idx != i {
+			t.Fatalf("SignerIndex(%v) = %d, %v; want %d", id, idx, ok, i)
+		}
+	}
+	if _, ok := reg.SignerIndex(3); ok {
+		t.Fatal("unregistered identity has an index")
+	}
+	if _, ok := reg.SignerAt(3); ok {
+		t.Fatal("out-of-range index resolves")
+	}
+}
+
+// The capability matrix is deliberate: ECDSA implements nothing (it
+// exercises every fallback path), ed25519 batches but cannot aggregate,
+// sim implements everything.
+func TestCapabilityMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		kind              SchemeKind
+		agg, batch, extra bool
+	}{
+		{SchemeECDSA, false, false, false},
+		{SchemeEd25519, false, true, false},
+		{SchemeSim, true, true, true},
+	} {
+		reg := NewRegistry(tc.kind)
+		scheme, err := NewScheme(tc.kind, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := scheme.(Aggregator); ok != tc.agg {
+			t.Errorf("%v: Aggregator = %v, want %v", tc.kind, ok, tc.agg)
+		}
+		if _, ok := scheme.(BatchVerifier); ok != tc.batch {
+			t.Errorf("%v: BatchVerifier = %v, want %v", tc.kind, ok, tc.batch)
+		}
+		if _, ok := scheme.(SignatureExtractor); ok != tc.extra {
+			t.Errorf("%v: SignatureExtractor = %v, want %v", tc.kind, ok, tc.extra)
+		}
+	}
+}
+
+func TestSimAggregateRoundTrip(t *testing.T) {
+	signers, reg, err := GenerateCluster(SchemeSim, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, ok := signers[0].Scheme().(Aggregator)
+	if !ok {
+		t.Fatal("sim scheme lost Aggregator")
+	}
+	digest := types.Hash([]byte("decide"))
+	quorum := []types.ReplicaID{1, 3, 4, 6, 7}
+	var sigs []Signature
+	for _, id := range quorum {
+		sig, err := signers[id-1].Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sig)
+	}
+	aggSig, err := agg.Aggregate(quorum, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggSig) != simAggLen {
+		t.Fatalf("aggregate is %dB, want constant %dB", len(aggSig), simAggLen)
+	}
+	if !agg.VerifyAggregate(reg, quorum, digest, aggSig) {
+		t.Fatal("valid aggregate rejected")
+	}
+	// Wrong signer set (missing/extra/substituted member) must fail.
+	if agg.VerifyAggregate(reg, quorum[:4], digest, aggSig) {
+		t.Fatal("aggregate accepted for a subset of its signers")
+	}
+	if agg.VerifyAggregate(reg, []types.ReplicaID{1, 2, 4, 6, 7}, digest, aggSig) {
+		t.Fatal("aggregate accepted for a substituted signer set")
+	}
+	if agg.VerifyAggregate(reg, quorum, types.Hash([]byte("other")), aggSig) {
+		t.Fatal("aggregate accepted for a different digest")
+	}
+	bad := append(Signature(nil), aggSig...)
+	bad[0] ^= 1
+	if agg.VerifyAggregate(reg, quorum, digest, bad) {
+		t.Fatal("tampered aggregate accepted")
+	}
+	if _, err := agg.Aggregate(quorum, sigs[:3]); err == nil {
+		t.Fatal("mismatched signers/sigs accepted")
+	}
+	if _, err := agg.Aggregate(nil, nil); err == nil {
+		t.Fatal("empty aggregation accepted")
+	}
+}
+
+// Extraction reconstructs the exact signature a signer produced — the
+// property that makes PoF attribution from aggregate certificates
+// equivalent to the signed-statement form.
+func TestSimExtractSignatureBitIdentical(t *testing.T) {
+	signers, reg, err := GenerateCluster(SchemeSim, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := signers[0].Scheme().(SignatureExtractor)
+	digest := types.Hash([]byte("vote"))
+	for _, s := range signers {
+		orig, err := s.Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := ex.ExtractSignature(reg, s.ID(), digest)
+		if !ok {
+			t.Fatalf("extraction failed for %v", s.ID())
+		}
+		if !bytes.Equal(orig, got) {
+			t.Fatalf("extracted signature differs for %v", s.ID())
+		}
+	}
+	if _, ok := ex.ExtractSignature(reg, 99, digest); ok {
+		t.Fatal("extracted a signature for an unregistered identity")
+	}
+}
+
+func TestBatchVerify(t *testing.T) {
+	for _, kind := range []SchemeKind{SchemeEd25519, SchemeSim} {
+		t.Run(kind.String(), func(t *testing.T) {
+			signers, reg, err := GenerateCluster(kind, 5, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bv, ok := signers[0].Scheme().(BatchVerifier)
+			if !ok {
+				t.Fatalf("%v lost BatchVerifier", kind)
+			}
+			digest := types.Hash([]byte("aux"))
+			ids := make([]types.ReplicaID, len(signers))
+			sigs := make([]Signature, len(signers))
+			for i, s := range signers {
+				ids[i] = s.ID()
+				if sigs[i], err = s.Sign(digest); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := bv.VerifyBatch(reg, ids, digest, sigs); got != -1 {
+				t.Fatalf("valid batch reported bad index %d", got)
+			}
+			// Corrupt the middle signature: exactly that index reported.
+			bad := make([]Signature, len(sigs))
+			copy(bad, sigs)
+			bad[2] = append(Signature(nil), sigs[2]...)
+			bad[2][0] ^= 0xff
+			if got := bv.VerifyBatch(reg, ids, digest, bad); got != 2 {
+				t.Fatalf("corrupt index = %d, want 2", got)
+			}
+			if got := bv.VerifyBatch(reg, ids[:3], digest, sigs); got != 0 {
+				t.Fatalf("mismatched lengths = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestGenerateClusterDeterministic pins that the same seed yields the
+// same PKI in independent GenerateCluster calls — the property the TCP
+// demo cluster (cmd/zlb-node) relies on when each process re-derives the
+// shared PKI from -seed. Go 1.24's crypto/ecdsa.GenerateKey stopped
+// honoring a caller-supplied deterministic reader, which silently broke
+// this for ECDSA; the scheme now samples the scalar from the stream
+// itself.
+func TestGenerateClusterDeterministic(t *testing.T) {
+	for _, kind := range []SchemeKind{SchemeECDSA, SchemeEd25519, SchemeSim} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s1, r1, err := GenerateCluster(kind, 4, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, r2, err := GenerateCluster(kind, 4, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := types.ReplicaID(1); id <= 4; id++ {
+				a, _ := r1.PublicKeyOf(id)
+				b, _ := r2.PublicKeyOf(id)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("%v: replica %d public key differs across same-seed runs", kind, id)
+				}
+			}
+			// Cross-run verification: a signature from run 1 must verify
+			// against run 2's registry (what peer processes actually do).
+			digest := types.Hash([]byte("cross-process"))
+			sig, err := s1[0].Sign(digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pub, _ := r2.PublicKeyOf(s1[0].ID())
+			if !s2[0].Scheme().Verify(pub, digest, sig) {
+				t.Fatalf("%v: run-1 signature rejected by run-2 PKI", kind)
+			}
+		})
+	}
+}

@@ -1,8 +1,11 @@
 package crypto
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/zeroloss/zlb/internal/types"
@@ -12,11 +15,20 @@ import (
 // mapping from replica identities to public keys, common to all replicas.
 // It is safe for concurrent use; the TCP transport verifies signatures
 // from multiple connection goroutines.
+//
+// Beyond key lookup, the registry defines the canonical signer index:
+// position i in the sorted list of registered identities. Aggregate
+// certificates encode their signer sets as bitmaps over this index, so
+// every replica that registered the same PKI decodes the same bitmap to
+// the same signer set.
 type Registry struct {
 	mu    sync.RWMutex
 	kind  SchemeKind
 	keys  map[types.ReplicaID]PublicKey
 	seeds map[string][]byte // sim-scheme seeds, keyed by string(pub)
+	// order is the sorted registered identities — the canonical signer
+	// index backing aggregate-certificate bitmaps.
+	order []types.ReplicaID
 }
 
 // NewRegistry creates an empty registry for the given scheme kind.
@@ -31,15 +43,33 @@ func NewRegistry(kind SchemeKind) *Registry {
 // Kind returns the scheme kind this registry serves.
 func (r *Registry) Kind() SchemeKind { return r.kind }
 
+// ErrKeyMismatch is returned when an identity is re-registered with a
+// different public key. A silent key swap mid-run would let a culprit
+// dodge PoF attribution: statements signed under the old key would stop
+// verifying against the registry, so the equivocation evidence dies.
+var ErrKeyMismatch = errors.New("crypto: identity already registered with a different key")
+
 // Register associates id with the pair's public key. Registering the sim
 // scheme also records the seed so verification can recompute the MAC.
+// Re-registering an identity with the same key is an idempotent no-op;
+// re-registering with a different key fails with ErrKeyMismatch.
 func (r *Registry) Register(id types.ReplicaID, kp *KeyPair) error {
 	if kp.kind != r.kind {
 		return ErrWrongScheme
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if prev, ok := r.keys[id]; ok {
+		if !bytes.Equal(prev, kp.pub) {
+			return fmt.Errorf("%w: %v", ErrKeyMismatch, id)
+		}
+		return nil
+	}
 	r.keys[id] = kp.pub
+	i := sort.Search(len(r.order), func(i int) bool { return r.order[i] >= id })
+	r.order = append(r.order, 0)
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = id
 	if kp.kind == SchemeSim {
 		r.seeds[string(kp.pub)] = kp.simSeed
 	}
@@ -61,11 +91,59 @@ func (r *Registry) Size() int {
 	return len(r.keys)
 }
 
+// SignerIndex returns id's position in the canonical signer index (the
+// sorted registered identities), or false if id is not registered.
+func (r *Registry) SignerIndex(id types.ReplicaID) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i := sort.Search(len(r.order), func(i int) bool { return r.order[i] >= id })
+	if i < len(r.order) && r.order[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// SignerAt returns the identity at position i of the canonical signer
+// index, or false if i is out of range.
+func (r *Registry) SignerAt(i int) (types.ReplicaID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if i < 0 || i >= len(r.order) {
+		return 0, false
+	}
+	return r.order[i], true
+}
+
 func (r *Registry) simSeed(pub PublicKey) ([]byte, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s, ok := r.seeds[string(pub)]
 	return s, ok
+}
+
+// seedOf resolves an identity straight to its sim seed (one lock, one
+// lookup chain) for the batch/aggregate fast paths.
+func (r *Registry) seedOf(id types.ReplicaID) ([]byte, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pk, ok := r.keys[id]
+	if !ok {
+		return nil, false
+	}
+	s, ok := r.seeds[string(pk)]
+	return s, ok
+}
+
+// publicKeys resolves a batch of identities under one read lock; unknown
+// identities yield nil entries.
+func (r *Registry) publicKeys(ids []types.ReplicaID) []PublicKey {
+	out := make([]PublicKey, len(ids))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for i, id := range ids {
+		out[i] = r.keys[id]
+	}
+	return out
 }
 
 // Signer bundles a replica's identity, key pair, scheme and registry: the

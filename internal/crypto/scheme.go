@@ -125,12 +125,28 @@ var _ Scheme = ecdsaScheme{}
 func (ecdsaScheme) Kind() SchemeKind { return SchemeECDSA }
 
 func (ecdsaScheme) GenerateKey(rand io.Reader) (*KeyPair, error) {
-	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRandom, err)
+	// crypto/ecdsa.GenerateKey mixes its own entropy into the caller's
+	// reader (Go 1.24's FIPS module ignores it outright), so a seeded
+	// reader no longer reproduces the same key in every process. The
+	// demo PKI derives each replica's key from a shared seed across
+	// separate node processes, so derive the scalar directly instead:
+	// rejection-sample d in [1, N-1] from the stream.
+	curve := elliptic.P256()
+	params := curve.Params()
+	buf := make([]byte, (params.N.BitLen()+7)/8)
+	for {
+		if _, err := io.ReadFull(rand, buf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRandom, err)
+		}
+		d := new(big.Int).SetBytes(buf)
+		if d.Sign() == 0 || d.Cmp(params.N) >= 0 {
+			continue
+		}
+		priv := &ecdsa.PrivateKey{PublicKey: ecdsa.PublicKey{Curve: curve}, D: d}
+		priv.X, priv.Y = curve.ScalarBaseMult(buf)
+		pub := elliptic.MarshalCompressed(curve, priv.X, priv.Y)
+		return &KeyPair{kind: SchemeECDSA, pub: pub, ecdsaPriv: priv}, nil
 	}
-	pub := elliptic.MarshalCompressed(elliptic.P256(), priv.PublicKey.X, priv.PublicKey.Y)
-	return &KeyPair{kind: SchemeECDSA, pub: pub, ecdsaPriv: priv}, nil
 }
 
 func (ecdsaScheme) Sign(kp *KeyPair, digest types.Digest) (Signature, error) {

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/adversary"
+	"github.com/zeroloss/zlb/internal/latency"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// aggregateRunResult captures everything the aggregate-certificate form
+// must preserve: the semantic decisions (bits + proposal digests, not
+// certificate bytes), the membership-change outcome and the proven
+// culprit set. Virtual times are deliberately absent — the aggregate
+// form changes the simulator's bandwidth/CPU cost model, so timings
+// shift by design.
+type aggregateRunResult struct {
+	decisions map[uint64]string
+	excluded  []types.ReplicaID
+	included  []types.ReplicaID
+	culprits  []types.ReplicaID
+}
+
+func runAggregateCampaign(t *testing.T, aggregate bool) aggregateRunResult {
+	t.Helper()
+	n := 9
+	c, err := New(Options{
+		N:              n,
+		Deceitful:      4,
+		Attack:         adversary.AttackBinary,
+		Accountable:    true,
+		Recover:        true,
+		AggregateCerts: aggregate,
+		MaxInstances:   6,
+		BaseLatency:    latency.Uniform(2*time.Millisecond, 10*time.Millisecond),
+		PartitionDelay: latency.UniformMean(3 * time.Second),
+		CoordTimeout:   fastCoordTimeout,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.RunUntilQuiet(30 * time.Minute)
+
+	honest := c.HonestMembers()
+	if len(honest) == 0 {
+		t.Fatal("no honest members")
+	}
+	res := aggregateRunResult{decisions: map[uint64]string{}}
+	for k, commit := range c.Commits[honest[0]] {
+		res.decisions[k] = commit.Decision.Digest().Hex()
+	}
+	if len(c.ChangeResults[honest[0]]) == 0 {
+		t.Fatal("no membership change completed")
+	}
+	change := c.ChangeResults[honest[0]][0]
+	res.excluded = append([]types.ReplicaID(nil), change.Excluded...)
+	res.included = append([]types.ReplicaID(nil), change.Included...)
+	types.SortReplicas(res.excluded)
+	types.SortReplicas(res.included)
+	res.culprits = c.CulpritsDetected()
+	types.SortReplicas(res.culprits)
+	for _, id := range res.culprits {
+		if !c.Coalition.IsDeceitful(id) {
+			t.Fatalf("honest replica %v proven deceitful (aggregate=%v): accountability unsound", id, aggregate)
+		}
+	}
+	return res
+}
+
+// TestAggregateCertsEquivalence pins the redesign's core guarantee: a
+// full adversarial campaign — attack, disagreement, PoF extraction,
+// exclusion, recovery — reaches the identical decisions, excludes the
+// identical replicas and proves the identical culprits whether
+// certificates travel as signed-statement quorums or as aggregate
+// signature + bitmap. Only the cost model (and hence virtual timing) may
+// differ between the modes.
+func TestAggregateCertsEquivalence(t *testing.T) {
+	signed := runAggregateCampaign(t, false)
+	agg := runAggregateCampaign(t, true)
+
+	if !reflect.DeepEqual(signed.culprits, agg.culprits) {
+		t.Errorf("proven culprits diverge: signed %v, aggregate %v", signed.culprits, agg.culprits)
+	}
+	if !reflect.DeepEqual(signed.excluded, agg.excluded) {
+		t.Errorf("excluded sets diverge: signed %v, aggregate %v", signed.excluded, agg.excluded)
+	}
+	if !reflect.DeepEqual(signed.included, agg.included) {
+		t.Errorf("included sets diverge: signed %v, aggregate %v", signed.included, agg.included)
+	}
+	if len(signed.decisions) != len(agg.decisions) {
+		t.Fatalf("decision counts diverge: signed %d, aggregate %d", len(signed.decisions), len(agg.decisions))
+	}
+	for k, d := range signed.decisions {
+		if agg.decisions[k] != d {
+			t.Errorf("instance %d decisions diverge", k)
+		}
+	}
+}
+
+// TestAggregateCertsHappyPath: aggregate mode on a clean run — every
+// instance decides, all replicas agree, no spurious accountability.
+func TestAggregateCertsHappyPath(t *testing.T) {
+	c, err := New(Options{
+		N:              7,
+		Accountable:    true,
+		Recover:        true,
+		AggregateCerts: true,
+		MaxInstances:   4,
+		BaseLatency:    latency.Uniform(2*time.Millisecond, 20*time.Millisecond),
+		CoordTimeout:   fastCoordTimeout,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.RunUntilQuiet(10 * time.Minute)
+	if got := len(c.Commits[c.Members[0]]); got != 4 {
+		t.Fatalf("committed %d instances, want 4", got)
+	}
+	if got := c.CulpritsDetected(); len(got) != 0 {
+		t.Fatalf("clean run proved culprits %v", got)
+	}
+	for k := range c.Commits[c.Members[0]] {
+		want := c.Commits[c.Members[0]][k].Decision.Digest()
+		for _, id := range c.Members[1:] {
+			commit, ok := c.Commits[id][k]
+			if !ok {
+				t.Fatalf("replica %v missing instance %d", id, k)
+			}
+			if commit.Decision.Digest() != want {
+				t.Fatalf("replica %v disagrees at instance %d", id, k)
+			}
+		}
+	}
+}

@@ -69,6 +69,13 @@ type Options struct {
 	// WaitForWork defers instance starts until batches are non-empty
 	// (used by the payment application).
 	WaitForWork bool
+	// AggregateCerts assembles consensus certificates in aggregate form
+	// (one aggregate signature plus a signer bitmap) instead of quorums
+	// of signed statements; see asmr.Config.AggregateCerts. The cluster
+	// PKI is the sim scheme, which implements crypto.Aggregator, so the
+	// flag takes effect in every harness run. Off by default: the
+	// signed-statement cost model and every golden stay bit-identical.
+	AggregateCerts bool
 	// CoordTimeout overrides the binary consensus coordinator timeout.
 	CoordTimeout func(types.Round) time.Duration
 	// DataDir, when set, gives every replica a durable block store
@@ -283,6 +290,7 @@ func (c *Cluster) buildReplica(id types.ReplicaID, signer *crypto.Signer, env si
 		AttackFromInstance: c.Opts.AttackAfter,
 		WaitForWork:        c.Opts.WaitForWork,
 		Deceitful:          c.Coalition.IsDeceitful(id),
+		AggregateCerts:     c.Opts.AggregateCerts,
 		Certs:              c.Certs,
 		Intern:             c.Intern,
 		Tracer:             c.Opts.Tracer.Node(id),

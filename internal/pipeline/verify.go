@@ -111,6 +111,25 @@ func (v *Verifier) VerifyCertificate(cert *accountability.Certificate, signer *c
 	if v == nil {
 		return cert.Verify(signer, n, member)
 	}
+	if err := v.VerifyCertSigs(cert, signer); err != nil {
+		return err
+	}
+	if cert.SignerCount(member) < types.Quorum(n) {
+		return accountability.ErrCertQuorum
+	}
+	return nil
+}
+
+// VerifyCertSigs checks the membership-independent part of the
+// certificate — the same contract as
+// accountability.(*Certificate).VerifySigs — with the verdict cached
+// across callers. Callers whose quorum rule differs from
+// Certificate.Verify's (ready certificates count 2t+1, not 2n/3) use this
+// plus their own SignerCount threshold.
+func (v *Verifier) VerifyCertSigs(cert *accountability.Certificate, signer *crypto.Signer) error {
+	if v == nil {
+		return cert.VerifySigs(signer)
+	}
 	v.mu.Lock()
 	c, ok := v.verdicts[cert]
 	if !ok {
@@ -131,13 +150,7 @@ func (v *Verifier) VerifyCertificate(cert *accountability.Certificate, signer *c
 		// queued task), so this wait always makes progress.
 		<-c.done
 	}
-	if c.err != nil {
-		return c.err
-	}
-	if cert.SignerCount(member) < types.Quorum(n) {
-		return accountability.ErrCertQuorum
-	}
-	return nil
+	return c.err
 }
 
 // evictIfFull resets the verdict map when it grows past the bound. Caller
@@ -151,8 +164,12 @@ func (v *Verifier) evictIfFull() {
 // check computes the pure verdict: statement mismatches, duplicate
 // signers, and every signature — fanned out across the pool for large
 // certificates, reduced in index order so the reported error is the one
-// sequential verification would return.
+// sequential verification would return. Aggregate-form certificates are
+// one constant-size check, so they verify inline — no fan-out to pay for.
 func (v *Verifier) check(cert *accountability.Certificate, signer *crypto.Signer) error {
+	if cert.IsAggregate() {
+		return cert.VerifySigs(signer)
+	}
 	digest := cert.Stmt.Digest()
 	seen := types.NewReplicaSet()
 	for i := range cert.Sigs {
@@ -191,6 +208,9 @@ func (v *Verifier) check(cert *accountability.Certificate, signer *crypto.Signer
 // differ from Certificate.Verify's.
 func (v *Verifier) VerifySignedBatch(sigs []accountability.Signed, signer *crypto.Signer) int {
 	if v == nil || v.pool == nil || len(sigs) < certSigsParallelMin {
+		if i, ok := batchVerify(sigs, signer); ok {
+			return i
+		}
 		for i := range sigs {
 			if !sigs[i].Verify(signer) {
 				return i
@@ -208,4 +228,31 @@ func (v *Verifier) VerifySignedBatch(sigs []accountability.Signed, signer *crypt
 		}
 	}
 	return -1
+}
+
+// batchVerify routes a batch of signed statements covering one shared
+// statement through the scheme's crypto.BatchVerifier capability, which
+// amortizes the per-signature setup (one digest, one registry pass). It
+// reports false when the scheme lacks the capability or the statements
+// differ, in which case the caller scans sequentially.
+func batchVerify(sigs []accountability.Signed, signer *crypto.Signer) (firstBad int, handled bool) {
+	if len(sigs) == 0 {
+		return -1, true
+	}
+	bv, ok := signer.Scheme().(crypto.BatchVerifier)
+	if !ok {
+		return 0, false
+	}
+	for i := 1; i < len(sigs); i++ {
+		if sigs[i].Stmt != sigs[0].Stmt {
+			return 0, false
+		}
+	}
+	ids := make([]types.ReplicaID, len(sigs))
+	raw := make([]crypto.Signature, len(sigs))
+	for i, s := range sigs {
+		ids[i] = s.Signer
+		raw[i] = s.Sig
+	}
+	return bv.VerifyBatch(signer.Registry(), ids, sigs[0].Stmt.Digest(), raw), true
 }

@@ -137,10 +137,7 @@ func (m *ProposalResp) SimBytes() int {
 	if m.ClaimedBytes > 0 {
 		n = m.ClaimedBytes + 80
 	}
-	if m.Cert != nil {
-		n += 130 * len(m.Cert.Sigs)
-	}
-	return n
+	return n + m.Cert.ModelBytes()
 }
 
 // SimSigOps implements simnet.Meter.
@@ -148,7 +145,7 @@ func (m *ProposalResp) SimSigOps() int {
 	if m.Cert == nil {
 		return 0
 	}
-	return len(m.Cert.Sigs) + 1
+	return m.Cert.SigOps() + 1
 }
 
 // Adversary wires the coalition attacks into the instance's
@@ -181,6 +178,9 @@ type Config struct {
 	// Certs, when set, routes certificate verification through the commit
 	// pipeline (shared verdicts, worker-pool signature fan-out).
 	Certs *pipeline.Verifier
+	// AggregateCerts assembles certificates (ready and decision) in
+	// aggregate form when the scheme supports it (crypto.Aggregator).
+	AggregateCerts bool
 	// Intern, when set, canonicalizes reliable-broadcast payload bytes by
 	// digest across the deployment (rbc.Config.Intern).
 	Intern *rbc.Intern
@@ -295,19 +295,20 @@ func (s *Instance) rbcFor(slot types.ReplicaID) *rbc.Instance {
 			}
 		}
 		r = rbc.New(rbc.Config{
-			Context:     s.cfg.Context,
-			Instance:    s.cfg.Instance,
-			Broadcaster: slot,
-			Self:        s.cfg.Self,
-			View:        s.cfg.View,
-			Signer:      s.cfg.Signer,
-			Log:         s.cfg.Log,
-			Env:         s.cfg.Env,
-			Accountable: s.cfg.Accountable,
-			Equivocator: eq,
-			Intern:      s.cfg.Intern,
-			Tracer:      s.cfg.Tracer,
-			OnDeliver:   func(d rbc.Delivery) { s.onDeliver(d) },
+			Context:        s.cfg.Context,
+			Instance:       s.cfg.Instance,
+			Broadcaster:    slot,
+			Self:           s.cfg.Self,
+			View:           s.cfg.View,
+			Signer:         s.cfg.Signer,
+			Log:            s.cfg.Log,
+			Env:            s.cfg.Env,
+			Accountable:    s.cfg.Accountable,
+			AggregateCerts: s.cfg.AggregateCerts,
+			Equivocator:    eq,
+			Intern:         s.cfg.Intern,
+			Tracer:         s.cfg.Tracer,
+			OnDeliver:      func(d rbc.Delivery) { s.onDeliver(d) },
 		})
 		s.rbcs[slot] = r
 	}
@@ -322,20 +323,21 @@ func (s *Instance) binFor(slot types.ReplicaID) *bincon.Instance {
 			eq = s.cfg.Adversary.Bin(slot)
 		}
 		b = bincon.New(bincon.Config{
-			Context:      s.cfg.Context,
-			Instance:     s.cfg.Instance,
-			Slot:         uint32(slot),
-			Self:         s.cfg.Self,
-			View:         s.cfg.View,
-			Signer:       s.cfg.Signer,
-			Log:          s.cfg.Log,
-			Env:          s.cfg.Env,
-			Accountable:  s.cfg.Accountable,
-			Equivocator:  eq,
-			CoordTimeout: s.cfg.CoordTimeout,
-			Certs:        s.cfg.Certs,
-			Tracer:       s.cfg.Tracer,
-			OnDecide:     func(d bincon.Decision) { s.onBinDecide(d) },
+			Context:        s.cfg.Context,
+			Instance:       s.cfg.Instance,
+			Slot:           uint32(slot),
+			Self:           s.cfg.Self,
+			View:           s.cfg.View,
+			Signer:         s.cfg.Signer,
+			Log:            s.cfg.Log,
+			Env:            s.cfg.Env,
+			Accountable:    s.cfg.Accountable,
+			Equivocator:    eq,
+			CoordTimeout:   s.cfg.CoordTimeout,
+			Certs:          s.cfg.Certs,
+			AggregateCerts: s.cfg.AggregateCerts,
+			Tracer:         s.cfg.Tracer,
+			OnDecide:       func(d bincon.Decision) { s.onBinDecide(d) },
 		})
 		s.bins[slot] = b
 	}
@@ -583,15 +585,23 @@ func (s *Instance) onProposalResp(_ types.ReplicaID, m *ProposalResp) {
 		if m.Cert.SignerCount(nil) < 2*types.MaxClassicFaults(len(s.members))+1 {
 			return
 		}
-		for _, sig := range m.Cert.Sigs {
-			if sig.Stmt != m.Cert.Stmt {
+		if m.Cert.IsAggregate() {
+			// One aggregate check, cached across receivers by the
+			// pipeline's verdict map (a nil Certs verifier checks inline).
+			if s.cfg.Certs.VerifyCertSigs(m.Cert, s.cfg.Signer) != nil {
 				return
 			}
-		}
-		// Signature checks fan out across the pipeline's worker pool (a
-		// nil Certs verifier runs them inline, same verdict).
-		if s.cfg.Certs.VerifySignedBatch(m.Cert.Sigs, s.cfg.Signer) >= 0 {
-			return
+		} else {
+			for _, sig := range m.Cert.Sigs {
+				if sig.Stmt != m.Cert.Stmt {
+					return
+				}
+			}
+			// Signature checks fan out across the pipeline's worker pool (a
+			// nil Certs verifier runs them inline, same verdict).
+			if s.cfg.Certs.VerifySignedBatch(m.Cert.Sigs, s.cfg.Signer) >= 0 {
+				return
+			}
 		}
 		if s.cfg.Log != nil {
 			s.cfg.Log.RecordCertificate(m.Cert)

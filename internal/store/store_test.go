@@ -27,9 +27,16 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T, dir string, opts Options) *fixture {
+	return newSchemeFixture(t, dir, opts, crypto.SchemeEd25519)
+}
+
+// newSchemeFixture is newFixture under a chosen payment scheme — the
+// catch-up matrix test runs the sync path under every wallet-capable
+// scheme.
+func newSchemeFixture(t *testing.T, dir string, opts Options, kind crypto.SchemeKind) *fixture {
 	t.Helper()
-	reg := crypto.NewRegistry(crypto.SchemeEd25519)
-	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	reg := crypto.NewRegistry(kind)
+	scheme, err := crypto.NewScheme(kind, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/zeroloss/zlb/internal/accountability"
+	"github.com/zeroloss/zlb/internal/crypto"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// certFixture builds a quorum certificate over a fresh n-replica cluster
+// of the given scheme, in either form.
+func certFixture(t testing.TB, kind crypto.SchemeKind, n int, aggregate bool) (*crypto.Registry, *accountability.Certificate) {
+	t.Helper()
+	signers, reg, err := crypto.GenerateCluster(kind, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := accountability.Statement{
+		Context:  accountability.CtxMain,
+		Kind:     accountability.KindAux,
+		Instance: 7,
+		Slot:     2,
+		Round:    1,
+		Value:    accountability.BoolDigest(true),
+	}
+	var sigs []accountability.Signed
+	for _, s := range signers[:types.Quorum(n)] {
+		sg, err := accountability.SignStatement(s, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sg)
+	}
+	cert, err := accountability.NewCertificateFor(signers[0], stmt, sigs, aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggregate && !cert.IsAggregate() {
+		t.Fatalf("scheme %v did not produce an aggregate certificate", kind)
+	}
+	return reg, cert
+}
+
+func TestCertificateRoundTripSigned(t *testing.T) {
+	for _, kind := range []crypto.SchemeKind{crypto.SchemeECDSA, crypto.SchemeEd25519, crypto.SchemeSim} {
+		reg, cert := certFixture(t, kind, 4, false)
+		data, err := EncodeCertificate(kind, reg, cert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeCertificate(kind, reg, data)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !reflect.DeepEqual(back, cert) {
+			t.Fatalf("%v: round trip mismatch", kind)
+		}
+		// Decode → re-encode is byte-identical: the codec is canonical.
+		again, err := EncodeCertificate(kind, reg, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("%v: re-encode differs", kind)
+		}
+	}
+}
+
+func TestCertificateRoundTripAggregate(t *testing.T) {
+	reg, cert := certFixture(t, crypto.SchemeSim, 7, true)
+	data, err := EncodeCertificate(crypto.SchemeSim, reg, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCertificate(crypto.SchemeSim, reg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsAggregate() {
+		t.Fatal("aggregate form lost in transit")
+	}
+	if !reflect.DeepEqual(back.Agg.Signers, cert.Agg.Signers) {
+		t.Fatalf("signers %v != %v", back.Agg.Signers, cert.Agg.Signers)
+	}
+	if !bytes.Equal(back.Agg.Sig, cert.Agg.Sig) {
+		t.Fatal("aggregate signature mismatch")
+	}
+	again, err := EncodeCertificate(crypto.SchemeSim, reg, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-encode differs")
+	}
+	// The wire trip preserves verifiability.
+	signers, _, err := crypto.GenerateCluster(crypto.SchemeSim, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(signers[0], 7, nil); err != nil {
+		t.Fatalf("decoded aggregate certificate fails verification: %v", err)
+	}
+}
+
+// The aggregate form is dramatically smaller than the signed form for the
+// same quorum — the point of the redesign.
+func TestCertificateAggregateSmaller(t *testing.T) {
+	reg, signed := certFixture(t, crypto.SchemeSim, 18, false)
+	_, agg := certFixture(t, crypto.SchemeSim, 18, true)
+	sb, err := EncodeCertificate(crypto.SchemeSim, reg, signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := EncodeCertificate(crypto.SchemeSim, reg, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab)*4 > len(sb) {
+		t.Fatalf("aggregate form %dB not ≥4× smaller than signed form %dB", len(ab), len(sb))
+	}
+}
+
+func TestCertificateDecodeRejections(t *testing.T) {
+	reg, cert := certFixture(t, crypto.SchemeSim, 4, true)
+	data, err := EncodeCertificate(crypto.SchemeSim, reg, cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 2 // future format version
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, bad); !errors.Is(err, ErrCertVersion) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[1] = 99 // unknown scheme kind
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, bad); !errors.Is(err, ErrCertScheme) {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+
+	// Valid kind byte, but not the kind this deployment runs.
+	if _, err := DecodeCertificate(crypto.SchemeEd25519, reg, data); !errors.Is(err, ErrCertScheme) {
+		t.Fatalf("cross-scheme certificate accepted: %v", err)
+	}
+
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, data[:len(data)-1]); err == nil {
+		t.Fatal("truncated certificate accepted")
+	}
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, data[:2]); !errors.Is(err, ErrTruncated) {
+		t.Fatal("truncated header accepted")
+	}
+
+	// Unknown form byte.
+	bad = append([]byte(nil), data...)
+	bad[2] = 7
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, bad); err == nil {
+		t.Fatal("unknown form accepted")
+	}
+
+	// A bitmap naming an identity outside the registry.
+	small, smallCert := certFixture(t, crypto.SchemeSim, 4, true)
+	raw, err := EncodeCertificate(crypto.SchemeSim, small, smallCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := crypto.NewRegistry(crypto.SchemeSim) // empty registry: no index
+	if _, err := DecodeCertificate(crypto.SchemeSim, tiny, raw); !errors.Is(err, ErrCertSigner) {
+		t.Fatalf("unregistered signer accepted: %v", err)
+	}
+
+	// Signed form with trailing garbage.
+	_, sc := certFixture(t, crypto.SchemeSim, 4, false)
+	sb, err := EncodeCertificate(crypto.SchemeSim, reg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCertificate(crypto.SchemeSim, reg, append(sb, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCertificateEncodeRejectsUnindexedSigner(t *testing.T) {
+	_, cert := certFixture(t, crypto.SchemeSim, 4, true)
+	tiny := crypto.NewRegistry(crypto.SchemeSim)
+	if _, err := EncodeCertificate(crypto.SchemeSim, tiny, cert); !errors.Is(err, ErrCertSigner) {
+		t.Fatalf("want ErrCertSigner, got %v", err)
+	}
+}
+
+func FuzzDecodeCertificate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{certFormatV1, byte(crypto.SchemeSim), certFormAggregate})
+	signers, reg, err := crypto.GenerateCluster(crypto.SchemeSim, 4, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	stmt := accountability.Statement{
+		Context:  accountability.CtxMain,
+		Kind:     accountability.KindReady,
+		Instance: 3,
+		Slot:     1,
+		Value:    types.Hash([]byte("block")),
+	}
+	var sigs []accountability.Signed
+	for _, s := range signers[:3] {
+		sg, err := accountability.SignStatement(s, stmt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sigs = append(sigs, sg)
+	}
+	for _, aggregate := range []bool{false, true} {
+		cert, err := accountability.NewCertificateFor(signers[0], stmt, sigs, aggregate)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := EncodeCertificate(crypto.SchemeSim, reg, cert)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The registry indexes identities 1..4; decoding with nil exercises
+		// the identity mapping as well.
+		for _, r := range []*crypto.Registry{reg, nil} {
+			c, err := DecodeCertificate(crypto.SchemeSim, r, data)
+			if err != nil {
+				continue
+			}
+			// A decoded certificate re-encodes byte-identically: the format
+			// admits exactly one encoding per certificate.
+			again, err := EncodeCertificate(crypto.SchemeSim, r, c)
+			if err != nil {
+				t.Fatalf("decoded certificate fails to re-encode: %v", err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("re-encode differs from input:\n  in  %x\n  out %x", data, again)
+			}
+		}
+	})
+}

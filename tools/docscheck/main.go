@@ -25,6 +25,7 @@ var readmeRequired = []string{
 	"internal/bincon",
 	"internal/accountability",
 	"internal/adversary",
+	"internal/crypto",
 	"internal/harness",
 	"internal/simnet",
 	"internal/scenario",

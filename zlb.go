@@ -24,6 +24,27 @@
 // (internal/scenario) used by the evaluation. See ARCHITECTURE.md for
 // the paper-to-package map.
 //
+// # Crypto-agility
+//
+// Signature schemes are capability-based (internal/crypto): every scheme
+// signs and verifies, and may additionally implement aggregation, batch
+// verification, or per-signer extraction, discovered at runtime by the
+// certificate layer. The matrix:
+//
+//	scheme      payments (Config.Scheme)   consensus certs   Aggregator   BatchVerifier
+//	ed25519     yes (default)              no (sim PKI)      no           yes
+//	ecdsa       yes                        no (sim PKI)      no           no
+//	sim         no (registry-backed MAC)   yes (harness)     yes          yes
+//
+// The simulated consensus PKI is the registry-backed sim scheme, which
+// implements every capability, so Config.AggregateCerts always takes
+// effect: certificates carry one aggregate signature plus a signer
+// bitmap instead of a quorum of signed statements, shrinking DECIDE
+// messages and catch-up transfers while preserving proof-of-fraud
+// attribution (per-signer statements are re-extracted on demand).
+// Payments cannot use sim: its MACs only authenticate identities inside
+// the shared registry, not out-of-process wallets.
+//
 // Quickstart:
 //
 //	cluster, _ := zlb.NewCluster(zlb.Config{N: 7, InitialFunds: map[zlb.Address]zlb.Amount{...}})
@@ -129,6 +150,21 @@ type Config struct {
 	MaxBlocks uint64
 	// Seed drives all randomness (default 1).
 	Seed int64
+
+	// Scheme selects the payment-side signature scheme: "ed25519"
+	// (default) or "ecdsa". "sim" is rejected — its registry-backed MACs
+	// cannot authenticate out-of-process wallets. The consensus PKI is
+	// independent (the harness's sim scheme); see the package comment's
+	// compatibility matrix.
+	Scheme string
+	// AggregateCerts makes every consensus certificate carry one
+	// aggregate signature plus a signer bitmap instead of a quorum of
+	// individual signed statements, when the consensus scheme implements
+	// crypto.Aggregator (the simulated PKI does). Decisions, exclusions
+	// and proven culprits are identical either way — only certificate
+	// size and verification cost change, so virtual-time metrics shift.
+	// Off by default, which keeps all fixed-seed goldens bit-identical.
+	AggregateCerts bool
 
 	// SequentialCommit forces the multi-core commit pipeline
 	// (internal/pipeline) off: transaction signatures, certificates and
@@ -271,7 +307,28 @@ func applyDefaults(cfg *Config) error {
 	if cfg.Attack != NoAttack && cfg.PartitionDelayMs == 0 {
 		cfg.PartitionDelayMs = 3000
 	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "ed25519"
+	}
+	if _, err := paymentSchemeKind(cfg.Scheme); err != nil {
+		return err
+	}
 	return nil
+}
+
+// paymentSchemeKind maps Config.Scheme to the crypto scheme kind,
+// rejecting schemes that cannot authenticate external wallets.
+func paymentSchemeKind(name string) (crypto.SchemeKind, error) {
+	switch name {
+	case "ed25519":
+		return crypto.SchemeEd25519, nil
+	case "ecdsa", "ecdsa-p256":
+		return crypto.SchemeECDSA, nil
+	case "sim":
+		return 0, fmt.Errorf("%w: scheme %q is registry-internal and cannot sign wallet transactions (use \"ed25519\" or \"ecdsa\")", ErrBadConfig, name)
+	default:
+		return 0, fmt.Errorf("%w: unknown scheme %q (want \"ed25519\" or \"ecdsa\")", ErrBadConfig, name)
+	}
 }
 
 // paymentSetup derives the payment-side PKI, the pre-funded test wallets
@@ -280,8 +337,12 @@ func applyDefaults(cfg *Config) error {
 // to replay a persisted chain. It also resolves GainBound and returns
 // the per-replica stake.
 func paymentSetup(cfg *Config) (crypto.Scheme, []*Wallet, map[Address]Amount, Amount, error) {
-	reg := crypto.NewRegistry(crypto.SchemeEd25519)
-	scheme, err := crypto.NewScheme(crypto.SchemeEd25519, reg)
+	kind, err := paymentSchemeKind(cfg.Scheme)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	reg := crypto.NewRegistry(kind)
+	scheme, err := crypto.NewScheme(kind, reg)
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}
@@ -362,6 +423,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		WaitForWork:    true,
 		Sequential:     cfg.SequentialCommit,
 		SequentialSim:  cfg.SequentialSim,
+		AggregateCerts: cfg.AggregateCerts,
 		Tracer:         cfg.Tracer,
 		CoordTimeout: func(r types.Round) time.Duration {
 			return 150 * time.Millisecond * time.Duration(r+1)
