@@ -106,14 +106,27 @@ func run(addrs []string, seed int64, schemeName, toHex string, amount types.Amou
 			Value: tx.Outputs[changeIdx].Value,
 		}
 		msg := &transport.SubmitTx{Tx: tx}
-		sent := 0
+		sent, refused := 0, 0
 		for _, c := range conns {
-			if err := c.enc.Encode(envelopeFor(msg)); err == nil {
+			if err := c.enc.Encode(envelopeFor(msg)); err != nil {
+				continue
+			}
+			// The node acks every submit on the same connection: OK when
+			// it reached the replica's event loop, a typed refusal when
+			// the node is overloaded (backpressure) — the wallet-visible
+			// alternative to silent loss.
+			switch ack := c.readAck(); {
+			case ack == nil: // node predates acks or the read timed out
 				sent++
+			case ack.OK:
+				sent++
+			default:
+				refused++
+				log.Printf("replica refused tx %v: %s", tx.ID(), ack.Err)
 			}
 		}
-		fmt.Printf("tx %v (%d coins → %v) submitted to %d/%d replicas\n",
-			tx.ID(), amount, recipient, sent, len(conns))
+		fmt.Printf("tx %v (%d coins → %v) submitted to %d/%d replicas (%d refused)\n",
+			tx.ID(), amount, recipient, sent, len(conns), refused)
 		time.Sleep(50 * time.Millisecond)
 	}
 	return nil
@@ -131,6 +144,21 @@ func envelopeFor(msg any) clientEnvelope { return clientEnvelope{From: 0, Msg: m
 type clientConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// readAck reads the node's SubmitAck for the last submit, best-effort:
+// nil when the node never answers (the submit still counts as sent —
+// clients stay compatible with fire-and-forget nodes).
+func (c clientConn) readAck() *transport.SubmitAck {
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	defer c.conn.SetReadDeadline(time.Time{})
+	var env clientEnvelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil
+	}
+	ack, _ := env.Msg.(*transport.SubmitAck)
+	return ack
 }
 
 func dialAll(addrs []string) ([]clientConn, error) {
@@ -141,7 +169,7 @@ func dialAll(addrs []string) ([]clientConn, error) {
 			log.Printf("dial %s: %v (skipping)", a, err)
 			continue
 		}
-		out = append(out, clientConn{conn: conn, enc: gob.NewEncoder(conn)})
+		out = append(out, clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no replica reachable")

@@ -75,6 +75,7 @@ func main() {
 	poolMinFee := flag.Uint64("mempool-min-fee", 0, "mempool admission: reject transactions below this fee")
 	poolPriority := flag.Bool("mempool-priority", false, "mempool admission: batch by fee rate instead of arrival order")
 	poolReplaceBump := flag.Int("mempool-replace-bump", 0, "mempool admission: replacement-by-fee bump percentage (0 = replacement off)")
+	peerQueue := flag.Int("peer-queue", 0, "outbound frames buffered per peer before drop-oldest displacement (0 = default 4096)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /status (JSON) and /debug/pprof/ on this address (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log severity (debug, info, warn, error)")
 	flag.Parse()
@@ -115,6 +116,7 @@ func main() {
 			ReplaceBumpPct: *poolReplaceBump,
 			PriorityOrder:  *poolPriority,
 		},
+		PeerQueue:   *peerQueue,
 		MetricsAddr: *metricsAddr,
 		LogLevel:    level,
 		Logf:        log.Printf,
@@ -196,6 +198,9 @@ type nodeConfig struct {
 	Mempool mempool.Policy
 	// SyncTimeout bounds the bootstrap wait for peer responses (default 5s).
 	SyncTimeout time.Duration
+	// PeerQueue bounds each peer's outbound send queue (0 = transport
+	// default). On overflow the oldest queued frame is displaced.
+	PeerQueue int
 	// MetricsAddr serves /metrics, /status and /debug/pprof/ when set.
 	MetricsAddr string
 	// LogLevel is the minimum severity Logf receives. The zero value is
@@ -310,7 +315,14 @@ func newReplicaNode(cfg nodeConfig) (*replicaNode, error) {
 	if !cfg.Sequential {
 		rn.certs = pipeline.NewVerifier(pipeline.Shared())
 	}
-	rn.node = transport.NewNode(transport.Config{Self: cfg.Self, Listen: cfg.Listen, Peers: peers})
+	rn.node = transport.NewNode(transport.Config{
+		Self:          cfg.Self,
+		Listen:        cfg.Listen,
+		Peers:         peers,
+		SendQueueSize: cfg.PeerQueue,
+		Logger:        rn.log,
+	})
+	rn.metrics.wireTransport(rn.node, members)
 
 	// Payment application state (same scheme as the consensus PKI, so one
 	// -scheme flag keeps nodes and clients in agreement).

@@ -16,6 +16,7 @@ import (
 
 	"github.com/zeroloss/zlb/internal/mempool"
 	"github.com/zeroloss/zlb/internal/obs"
+	"github.com/zeroloss/zlb/internal/transport"
 	"github.com/zeroloss/zlb/internal/types"
 )
 
@@ -68,6 +69,49 @@ func newNodeMetrics(pool *mempool.Pool) *nodeMetrics {
 	return m
 }
 
+// wireTransport registers the transport's node-wide counters and the
+// per-peer health series. All values are read from the transport's
+// lock-free counters at scrape time, so the series cost nothing on the
+// consensus path.
+func (m *nodeMetrics) wireTransport(node *transport.Node, members []types.ReplicaID) {
+	reg := m.reg
+	reg.CounterFunc("zlb_transport_frames_sent_total", "Frames written to peer connections.",
+		func() float64 { return float64(node.Stats().Sent) })
+	reg.CounterFunc("zlb_transport_events_received_total", "Events handled by the replica's event loop.",
+		func() float64 { return float64(node.Stats().Received) })
+	reg.CounterFunc("zlb_transport_events_dropped", "Inbound or self events dropped by a full event queue.",
+		func() float64 { return float64(node.Stats().EventsDropped) })
+	reg.CounterFunc("zlb_transport_decode_errors", "Inbound frames that failed to decode (connection dropped).",
+		func() float64 { return float64(node.Stats().DecodeErrors) })
+	reg.CounterFunc("zlb_transport_send_drops_total", "Outbound frames displaced from full peer queues.",
+		func() float64 { return float64(node.Stats().SendDrops) })
+	reg.CounterFunc("zlb_transport_submit_backpressure_total", "Client submits refused with a backpressure ack.",
+		func() float64 { return float64(node.Stats().SubmitBackpressure) })
+
+	self := node.Self()
+	for _, id := range members {
+		if id == self {
+			continue
+		}
+		peer := id
+		label := fmt.Sprintf("%d", peer)
+		reg.GaugeFunc("zlb_peer_state", "Peer connection state (0=idle 1=connected 2=backoff 3=suspect).",
+			func() float64 { return float64(node.PeerHealthFor(peer).State) }, "peer", label)
+		reg.GaugeFunc("zlb_peer_queue_len", "Frames waiting in the peer's outbound queue.",
+			func() float64 { return float64(node.PeerHealthFor(peer).QueueLen) }, "peer", label)
+		reg.GaugeFunc("zlb_peer_consecutive_failures", "Consecutive dial or write failures toward the peer.",
+			func() float64 { return float64(node.PeerHealthFor(peer).ConsecutiveFailures) }, "peer", label)
+		reg.CounterFunc("zlb_peer_sent_total", "Frames delivered to the peer.",
+			func() float64 { return float64(node.PeerHealthFor(peer).SentMsgs) }, "peer", label)
+		reg.CounterFunc("zlb_peer_sent_bytes_total", "Bytes delivered to the peer.",
+			func() float64 { return float64(node.PeerHealthFor(peer).SentBytes) }, "peer", label)
+		reg.CounterFunc("zlb_peer_drops_total", "Frames to the peer displaced by queue overflow or failed past the retry budget.",
+			func() float64 { return float64(node.PeerHealthFor(peer).Drops) }, "peer", label)
+		reg.CounterFunc("zlb_peer_reconnects_total", "Times the writer re-established the peer's connection.",
+			func() float64 { return float64(node.PeerHealthFor(peer).Reconnects) }, "peer", label)
+	}
+}
+
 // status is the /status JSON document: the same state the metrics expose,
 // in one human- and script-friendly snapshot.
 type status struct {
@@ -80,7 +124,11 @@ type status struct {
 	TxsApplied      uint64          `json:"txs_applied"`
 	ProvenCulprits  uint64          `json:"proven_culprits"`
 	Mempool         mempool.Stats   `json:"mempool"`
-	UptimeSeconds   float64         `json:"uptime_seconds"`
+	// Transport is the node-wide transport counter snapshot; Peers is
+	// per-peer send-path health (state, failures, drops, reconnects).
+	Transport     transport.Stats        `json:"transport"`
+	Peers         []transport.PeerHealth `json:"peers"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
 }
 
 func (rn *replicaNode) statusSnapshot() status {
@@ -95,6 +143,8 @@ func (rn *replicaNode) statusSnapshot() status {
 		TxsApplied:      m.txApplied.Value(),
 		ProvenCulprits:  m.culprits.Value(),
 		Mempool:         rn.pool.Stats(),
+		Transport:       rn.node.Stats(),
+		Peers:           rn.node.PeerHealth(),
 		UptimeSeconds:   time.Since(rn.startedAt).Seconds(),
 	}
 }

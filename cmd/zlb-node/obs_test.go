@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/zeroloss/zlb/internal/mempool"
+	"github.com/zeroloss/zlb/internal/transport"
 	"github.com/zeroloss/zlb/internal/types"
 )
 
@@ -107,6 +108,39 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 		t.Errorf("zlb_commit_latency_seconds_count = %v, want >= %d", v, blocks)
 	}
 
+	// Transport counters and per-peer health series (registered for every
+	// configured peer, zeros included).
+	for _, series := range []string{
+		"zlb_transport_frames_sent_total",
+		"zlb_transport_events_received_total",
+		"zlb_transport_events_dropped",
+		"zlb_transport_decode_errors",
+		"zlb_transport_send_drops_total",
+		"zlb_transport_submit_backpressure_total",
+	} {
+		if !strings.Contains(body, "\n"+series+" ") {
+			t.Errorf("/metrics missing series %s", series)
+		}
+	}
+	for peer := 2; peer <= n; peer++ {
+		for _, series := range []string{
+			"zlb_peer_state",
+			"zlb_peer_queue_len",
+			"zlb_peer_consecutive_failures",
+			"zlb_peer_sent_total",
+			"zlb_peer_sent_bytes_total",
+			"zlb_peer_drops_total",
+			"zlb_peer_reconnects_total",
+		} {
+			if !strings.Contains(body, fmt.Sprintf("%s{peer=%q}", series, strconv.Itoa(peer))) {
+				t.Errorf("/metrics missing per-peer series %s for peer %d", series, peer)
+			}
+		}
+	}
+	if v := seriesValue(t, body, "zlb_transport_frames_sent_total"); v <= 0 {
+		t.Errorf("zlb_transport_frames_sent_total = %v after committed blocks, want > 0", v)
+	}
+
 	var st status
 	if err := json.Unmarshal([]byte(scrape(t, base+"/status")), &st); err != nil {
 		t.Fatalf("decoding /status: %v", err)
@@ -122,6 +156,20 @@ func TestNodeMetricsEndpoint(t *testing.T) {
 	}
 	if st.Mempool.Admitted < blocks {
 		t.Errorf("/status mempool.admitted = %d, want >= %d", st.Mempool.Admitted, blocks)
+	}
+	if len(st.Peers) != n-1 {
+		t.Errorf("/status lists %d peers, want %d", len(st.Peers), n-1)
+	}
+	for _, p := range st.Peers {
+		if p.State != transport.StateConnected {
+			t.Errorf("/status peer %v state %v after committed blocks, want connected", p.ID, p.State)
+		}
+		if p.SentMsgs == 0 {
+			t.Errorf("/status peer %v shows no delivered frames after committed blocks", p.ID)
+		}
+	}
+	if st.Transport.Sent <= 0 {
+		t.Errorf("/status transport.Sent = %d after committed blocks, want > 0", st.Transport.Sent)
 	}
 
 	if idx := scrape(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {

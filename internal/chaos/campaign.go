@@ -1,0 +1,541 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/transport"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// ChainState is the slice of a replica's ledger a campaign asserts on.
+type ChainState struct {
+	Height  int
+	LastK   uint64
+	Digests map[uint64]types.Digest
+}
+
+// Cluster is the live n-replica deployment a campaign drives. The
+// implementation lives with the binary under test (cmd/zlb-node's test
+// harness): chaos stays a pure fault/invariant layer with no knowledge
+// of how replicas are built, mirroring how internal/scenario drives the
+// simulator through the harness package.
+type Cluster interface {
+	// N is the cluster size.
+	N() int
+	// Submit broadcasts one client payment to the listed replicas (all
+	// replicas when empty), retrying each until the submit is accepted.
+	// Submits dial the real listen addresses — client traffic bypasses
+	// the proxy mesh, like real deployments where client links and
+	// replica links are distinct.
+	Submit(to ...types.ReplicaID) error
+	// State reads the replica's chain state on its event loop.
+	State(id types.ReplicaID) (ChainState, error)
+	// Kill stops a replica; Restart brings it back on the same address
+	// and data directory (the durable-store recovery + catch-up path).
+	Kill(id types.ReplicaID) error
+	Restart(id types.ReplicaID) error
+	// StallProbe round-trips a no-op closure through the replica's
+	// event loop, measuring how long the loop takes to service it.
+	StallProbe(id types.ReplicaID, timeout time.Duration) (time.Duration, error)
+	// PeerHealth snapshots the replica's transport health for its peers.
+	PeerHealth(id types.ReplicaID) []transport.PeerHealth
+}
+
+// Recovery is one measured heal→agreement interval: the wall-clock
+// cost of recovering from a standing fault, from the moment the fault
+// is lifted (or the victim restarted) to full bit-for-bit agreement.
+type Recovery struct {
+	Fault    string
+	Duration time.Duration
+}
+
+// Env is what a campaign runs against: the proxy mesh to fault, the
+// cluster to drive and the invariant bounds to hold.
+type Env struct {
+	Net     *Net
+	Cluster Cluster
+	// StallBound is the ceiling a StallProbe round-trip may take while
+	// faults are standing. The tentpole invariant: dead or slow peers
+	// cost their own queues, never the event loop.
+	StallBound time.Duration
+	// Logf receives campaign progress; nil discards it.
+	Logf func(format string, args ...any)
+	// Recoveries accumulates the heal→agreement intervals the campaign
+	// measured (EXPERIMENTS.md tabulates them per fault type).
+	Recoveries []Recovery
+}
+
+func (e *Env) log(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+func (e *Env) all() []types.ReplicaID {
+	ids := make([]types.ReplicaID, e.Cluster.N())
+	for i := range ids {
+		ids[i] = types.ReplicaID(i + 1)
+	}
+	return ids
+}
+
+// timeRecovery times the heal step: heal lifts the fault (or restarts
+// the victim), then the listed replicas must agree at minHeight. The
+// measured interval is appended to e.Recoveries.
+func (e *Env) timeRecovery(fault string, heal func() error, minHeight int, timeout time.Duration, ids ...types.ReplicaID) error {
+	start := time.Now()
+	if err := heal(); err != nil {
+		return err
+	}
+	if err := e.WaitAgreement(minHeight, timeout, ids...); err != nil {
+		return err
+	}
+	d := time.Since(start)
+	e.Recoveries = append(e.Recoveries, Recovery{Fault: fault, Duration: d})
+	e.log("recovery %q: heal → agreement at height %d in %v", fault, minHeight, d.Round(time.Millisecond))
+	return nil
+}
+
+// Campaign is one registered fault sequence with its recovery
+// invariants. Campaigns derive their topology (partition groups,
+// victims, quorums) from the cluster's actual size, so one registration
+// runs at n=5 in CI and at n=9 in the nightly matrix.
+type Campaign struct {
+	Name        string
+	Description string
+	// Nodes is the minimum cluster size the campaign needs (≥ 5: large
+	// enough that a below-quorum split leaves a three-replica side).
+	// Harnesses may run it larger.
+	Nodes int
+	// Long marks campaigns for the nightly matrix only; the CI smoke
+	// job runs the rest.
+	Long bool
+	Run  func(e *Env) error
+}
+
+// campaigns is the ordered registry; order is deterministic for reports.
+var campaigns = []Campaign{
+	{
+		Name: "partition-then-heal-tcp",
+		Description: "split the cluster below quorum on both sides: commits pause, " +
+			"event loops stay live, health degrades to suspect, and the queued " +
+			"cross-partition traffic flushes on heal into chain agreement",
+		Nodes: 5,
+		Run:   runPartitionThenHeal,
+	},
+	{
+		Name: "flapping-peer",
+		Description: "one replica's links flap up and down: each cycle redials and " +
+			"recovers, reconnect counters advance, and no flap ever stalls the " +
+			"others' event loops or the chain",
+		Nodes: 5,
+		Run:   runFlappingPeer,
+	},
+	{
+		Name: "slow-reader-starvation",
+		Description: "every link toward one replica is throttled to a trickle: the " +
+			"slow reader's backlog lives in its senders' peer queues, the quorum " +
+			"keeps committing, and the laggard converges once the throttle lifts",
+		Nodes: 5,
+		Run:   runSlowReaderStarvation,
+	},
+	{
+		Name: "restart-storm",
+		Description: "rolling kill/restart across the committee under load: each " +
+			"victim recovers its store, catches up the missed tail, and the chain " +
+			"never forks",
+		Nodes: 5,
+		Long:  true,
+		Run:   runRestartStorm,
+	},
+}
+
+// Campaigns returns the registered campaigns in registration order.
+func Campaigns() []Campaign {
+	out := make([]Campaign, len(campaigns))
+	copy(out, campaigns)
+	return out
+}
+
+// Names lists the registered campaign names in registration order.
+func Names() []string {
+	out := make([]string, len(campaigns))
+	for i, c := range campaigns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Find returns a registered campaign by name.
+func Find(name string) (Campaign, error) {
+	for _, c := range campaigns {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Campaign{}, fmt.Errorf("chaos: unknown campaign %q (have %v)", name, Names())
+}
+
+// ---- invariant helpers ----
+
+// WaitHeights polls until every listed replica reports Height ≥
+// minHeight.
+func (e *Env) WaitHeights(minHeight int, timeout time.Duration, ids ...types.ReplicaID) error {
+	if len(ids) == 0 {
+		ids = e.all()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for _, id := range ids {
+			st, err := e.Cluster.State(id)
+			if err != nil || st.Height < minHeight {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas %v did not all reach height %d within %v", ids, minHeight, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// WaitAgreement polls until every listed replica reports Height ≥
+// minHeight and all of them agree bit for bit: same last instance, same
+// block digest at every instance. This is the safety invariant every
+// campaign ends on — whatever the faults did, honest replicas converge
+// to one chain.
+func (e *Env) WaitAgreement(minHeight int, timeout time.Duration, ids ...types.ReplicaID) error {
+	if len(ids) == 0 {
+		ids = e.all()
+	}
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		lastErr = e.checkAgreement(minHeight, ids)
+		if lastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no agreement at height %d within %v: %w", minHeight, timeout, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (e *Env) checkAgreement(minHeight int, ids []types.ReplicaID) error {
+	ref, err := e.Cluster.State(ids[0])
+	if err != nil {
+		return fmt.Errorf("replica %v: %w", ids[0], err)
+	}
+	if ref.Height < minHeight {
+		return fmt.Errorf("replica %v at height %d", ids[0], ref.Height)
+	}
+	for _, id := range ids[1:] {
+		st, err := e.Cluster.State(id)
+		if err != nil {
+			return fmt.Errorf("replica %v: %w", id, err)
+		}
+		if st.Height < minHeight {
+			return fmt.Errorf("replica %v at height %d", id, st.Height)
+		}
+		if st.LastK != ref.LastK || len(st.Digests) != len(ref.Digests) {
+			return fmt.Errorf("replica %v at instance %d with %d digests, replica %v at %d with %d",
+				id, st.LastK, len(st.Digests), ids[0], ref.LastK, len(ref.Digests))
+		}
+		for k, d := range ref.Digests {
+			if st.Digests[k] != d {
+				return fmt.Errorf("replicas %v and %v disagree at instance %d", ids[0], id, k)
+			}
+		}
+	}
+	return nil
+}
+
+// RequireStallBound probes each listed replica's event loop and fails
+// if any round-trip exceeds the bound — the liveness invariant that
+// faulted peers never wedge the loop.
+func (e *Env) RequireStallBound(ids ...types.ReplicaID) error {
+	if len(ids) == 0 {
+		ids = e.all()
+	}
+	for _, id := range ids {
+		rt, err := e.Cluster.StallProbe(id, e.StallBound)
+		if err != nil {
+			return fmt.Errorf("replica %v event loop stalled past %v: %w", id, e.StallBound, err)
+		}
+		if rt > e.StallBound {
+			return fmt.Errorf("replica %v event-loop round-trip %v exceeds bound %v", id, rt, e.StallBound)
+		}
+	}
+	return nil
+}
+
+// WaitPeerDegraded polls until replica on's health for peer reports
+// backoff or suspect — the metric-facing proof that an injected fault
+// was observed.
+func (e *Env) WaitPeerDegraded(on, peer types.ReplicaID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, h := range e.Cluster.PeerHealth(on) {
+			if h.ID == peer && (h.State == transport.StateBackoff || h.State == transport.StateSuspect) {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica %v never saw peer %v degrade within %v", on, peer, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// WaitPeerConnected polls until replica on's health for peer reports
+// connected again — the writer completed a redial after a heal.
+func (e *Env) WaitPeerConnected(on, peer types.ReplicaID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if h, ok := e.peerHealthFor(on, peer); ok && h.State == transport.StateConnected {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			h, _ := e.peerHealthFor(on, peer)
+			return fmt.Errorf("replica %v never saw peer %v reconnect within %v (state %v)", on, peer, timeout, h.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (e *Env) peerHealthFor(on, peer types.ReplicaID) (transport.PeerHealth, bool) {
+	for _, h := range e.Cluster.PeerHealth(on) {
+		if h.ID == peer {
+			return h, true
+		}
+	}
+	return transport.PeerHealth{}, false
+}
+
+// ---- campaigns ----
+
+// runPartitionThenHeal cuts the cluster in half (⌊n/2⌋ | ⌈n/2⌉, both
+// below the ⌈2n/3⌉ quorum for any n ≥ 5), so commits pause while
+// submits keep landing in mempools (client links bypass the mesh). The
+// invariants: no event loop stalls behind the dead links, health
+// degrades to suspect, no side commits alone, and after heal the
+// traffic queued in the peer queues flushes — the cluster converges on
+// the submitted block.
+func runPartitionThenHeal(e *Env) error {
+	ids := e.all()
+	groupA := ids[:len(ids)/2]
+	groupB := ids[len(ids)/2:]
+
+	e.log("healthy warmup: committing two blocks")
+	for b := 1; b <= 2; b++ {
+		if err := e.Cluster.Submit(); err != nil {
+			return err
+		}
+		if err := e.WaitAgreement(b, 60*time.Second); err != nil {
+			return fmt.Errorf("warmup block %d: %w", b, err)
+		}
+	}
+
+	e.log("partitioning %v | %v", groupA, groupB)
+	e.Net.PartitionGroups(groupA, groupB)
+	if err := e.Cluster.Submit(); err != nil {
+		return err
+	}
+
+	// The fault must be visible in health: the first near-side
+	// replica's writers toward the far side exhaust their consecutive
+	// failures into suspect.
+	for _, far := range groupB {
+		if err := e.WaitPeerDegraded(groupA[0], far, 30*time.Second); err != nil {
+			return err
+		}
+	}
+	// And must cost nothing but the dead links: every event loop stays
+	// responsive, and neither side commits the partitioned block.
+	if err := e.RequireStallBound(); err != nil {
+		return err
+	}
+	for _, id := range e.all() {
+		st, err := e.Cluster.State(id)
+		if err != nil {
+			return err
+		}
+		if st.Height >= 3 {
+			return fmt.Errorf("replica %v committed block 3 inside a below-quorum partition", id)
+		}
+	}
+
+	e.log("healing: queued cross-partition traffic flushes")
+	if err := e.timeRecovery("partition", e.Net.HealAll, 3, 120*time.Second); err != nil {
+		return fmt.Errorf("after heal: %w", err)
+	}
+	return nil
+}
+
+// runFlappingPeer cycles the last replica's links down and up under
+// load: each down window commits a block with the remaining quorum
+// (whose frames toward the victim fail into backoff/suspect, without
+// stalling anyone), each up window flushes the queued tail so the
+// victim catches up before the next cut. Reconnect counters must
+// advance once per cycle.
+func runFlappingPeer(e *Env) error {
+	victim := types.ReplicaID(e.Cluster.N())
+	const cycles = 3
+	live := e.all()[:e.Cluster.N()-1]
+
+	if err := e.Cluster.Submit(); err != nil {
+		return err
+	}
+	if err := e.WaitAgreement(1, 60*time.Second); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	for c := 1; c <= cycles; c++ {
+		e.log("flap %d/%d: isolating replica %v and committing without it", c, cycles, victim)
+		e.Net.IsolatePeer(victim)
+		if err := e.Cluster.Submit(live...); err != nil {
+			return err
+		}
+		if err := e.WaitHeights(1+c, 90*time.Second, live...); err != nil {
+			return fmt.Errorf("quorum behind the flap %d: %w", c, err)
+		}
+		// The commit traffic toward the dead links must show up in
+		// health — and cost nothing but those links.
+		if err := e.WaitPeerDegraded(1, victim, 30*time.Second); err != nil {
+			return err
+		}
+		if err := e.RequireStallBound(live...); err != nil {
+			return fmt.Errorf("flap %d: %w", c, err)
+		}
+
+		e.log("flap %d/%d: healing; the queued tail flushes to the victim", c, cycles)
+		heal := func() error { return e.Net.HealPeer(victim) }
+		if err := e.timeRecovery(fmt.Sprintf("flap-%d", c), heal, 1+c, 90*time.Second); err != nil {
+			return fmt.Errorf("after flap %d: %w", c, err)
+		}
+		// Don't cut again until replica 1's writer has finished its
+		// redial: agreement can land through the echo quorum while that
+		// writer is still asleep in backoff, and a heal window shorter
+		// than the backoff would let a cycle pass without a reconnect.
+		if err := e.WaitPeerConnected(1, victim, 30*time.Second); err != nil {
+			return fmt.Errorf("after flap %d: %w", c, err)
+		}
+	}
+
+	// The churn must be visible in health: one successful redial per
+	// down/up cycle.
+	h, ok := e.peerHealthFor(1, victim)
+	if !ok || h.Reconnects < cycles {
+		return fmt.Errorf("replica 1 counted %d reconnects toward the flapper, want >= %d", h.Reconnects, cycles)
+	}
+	return nil
+}
+
+// runSlowReaderStarvation throttles every link toward replica 2 to a
+// trickle. The backlog must live in the senders' per-peer queues: the
+// unimpeded quorum (everyone else) keeps committing at full speed with
+// bounded event-loop latency while 2 lags, and once the throttle lifts
+// the laggard drains the queued tail and converges.
+func runSlowReaderStarvation(e *Env) error {
+	const victim = types.ReplicaID(2)
+	quorum := make([]types.ReplicaID, 0, e.Cluster.N()-1)
+	for _, id := range e.all() {
+		if id != victim {
+			quorum = append(quorum, id)
+		}
+	}
+
+	if err := e.Cluster.Submit(); err != nil {
+		return err
+	}
+	if err := e.WaitAgreement(1, 60*time.Second); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	e.log("throttling every link toward replica %v", victim)
+	for _, from := range quorum {
+		link := e.Net.Link(from, victim)
+		link.SetThrottle(2048)
+		link.SetLatency(20 * time.Millisecond)
+	}
+
+	for b := 2; b <= 3; b++ {
+		if err := e.Cluster.Submit(); err != nil {
+			return err
+		}
+		if err := e.WaitHeights(b, 90*time.Second, quorum...); err != nil {
+			return fmt.Errorf("quorum behind a slow reader, block %d: %w", b, err)
+		}
+	}
+	if err := e.RequireStallBound(quorum...); err != nil {
+		return err
+	}
+
+	e.log("lifting the throttle: the laggard drains and converges")
+	if err := e.timeRecovery("slow-reader", e.Net.HealAll, 3, 120*time.Second); err != nil {
+		return fmt.Errorf("laggard convergence: %w", err)
+	}
+	return nil
+}
+
+// runRestartStorm rolls kill/restart across the committee: each victim
+// leaves at least the ⌈2n/3⌉ quorum behind (which keeps committing),
+// then returns through durable-store recovery and certificate-verified
+// catch-up. Ends in full agreement with no forks.
+func runRestartStorm(e *Env) error {
+	n := e.Cluster.N()
+	victims := []types.ReplicaID{types.ReplicaID(n), types.ReplicaID(n - 1)}
+
+	if err := e.Cluster.Submit(); err != nil {
+		return err
+	}
+	if err := e.WaitAgreement(1, 60*time.Second); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	height := 1
+	for _, v := range victims {
+		live := make([]types.ReplicaID, 0, e.Cluster.N()-1)
+		for _, id := range e.all() {
+			if id != v {
+				live = append(live, id)
+			}
+		}
+		e.log("killing replica %v; the remaining quorum commits", v)
+		if err := e.Cluster.Kill(v); err != nil {
+			return err
+		}
+		if err := e.Cluster.Submit(live...); err != nil {
+			return err
+		}
+		height++
+		if err := e.WaitHeights(height, 120*time.Second, live...); err != nil {
+			return fmt.Errorf("quorum without %v: %w", v, err)
+		}
+		if err := e.RequireStallBound(live...); err != nil {
+			return fmt.Errorf("with %v down: %w", v, err)
+		}
+
+		e.log("restarting replica %v; it must catch the missed tail up", v)
+		restart := func() error { return e.Cluster.Restart(v) }
+		if err := e.timeRecovery(fmt.Sprintf("restart-%d", v), restart, height, 120*time.Second); err != nil {
+			return fmt.Errorf("after restarting %v: %w", v, err)
+		}
+	}
+
+	if err := e.Cluster.Submit(); err != nil {
+		return err
+	}
+	height++
+	if err := e.WaitAgreement(height, 120*time.Second); err != nil {
+		return fmt.Errorf("final full-committee block: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// Net is the full proxy mesh for an n-replica cluster: one Proxy per
+// directed link (from, to), so faults can be asymmetric — a one-way
+// blackhole or a slow reader affects exactly one direction of one pair.
+// Nodes are configured with PeersFor addresses; clients keep dialing
+// the real listen addresses, so submits bypass the mesh the way real
+// client traffic bypasses inter-replica links.
+type Net struct {
+	real  []string // real listen addresses in ID order (index 0 = replica 1)
+	links map[[2]types.ReplicaID]*Proxy
+}
+
+// NewNet builds the mesh over the cluster's real listen addresses
+// (index i serves replica i+1).
+func NewNet(realAddrs []string) (*Net, error) {
+	n := &Net{
+		real:  append([]string(nil), realAddrs...),
+		links: make(map[[2]types.ReplicaID]*Proxy),
+	}
+	for i := range realAddrs {
+		for j := range realAddrs {
+			if i == j {
+				continue
+			}
+			from, to := types.ReplicaID(i+1), types.ReplicaID(j+1)
+			p, err := NewProxy(fmt.Sprintf("%d→%d", from, to), realAddrs[j])
+			if err != nil {
+				n.Close()
+				return nil, err
+			}
+			n.links[[2]types.ReplicaID{from, to}] = p
+		}
+	}
+	return n, nil
+}
+
+// PeersFor is the peer address list replica id should be configured
+// with: every other replica's entry is the proxy for the (id → other)
+// link, its own entry is its real listen address.
+func (n *Net) PeersFor(id types.ReplicaID) []string {
+	out := make([]string, len(n.real))
+	for j := range n.real {
+		to := types.ReplicaID(j + 1)
+		if to == id {
+			out[j] = n.real[j]
+			continue
+		}
+		out[j] = n.links[[2]types.ReplicaID{id, to}].Addr()
+	}
+	return out
+}
+
+// Link returns the proxy carrying from's traffic toward to.
+func (n *Net) Link(from, to types.ReplicaID) *Proxy {
+	return n.links[[2]types.ReplicaID{from, to}]
+}
+
+// EachLink visits every directed link.
+func (n *Net) EachLink(f func(from, to types.ReplicaID, p *Proxy)) {
+	for key, p := range n.links {
+		f(key[0], key[1], p)
+	}
+}
+
+// IsolatePeer partitions every link touching id, in both directions.
+func (n *Net) IsolatePeer(id types.ReplicaID) {
+	n.EachLink(func(from, to types.ReplicaID, p *Proxy) {
+		if from == id || to == id {
+			p.Partition()
+		}
+	})
+}
+
+// HealPeer lifts IsolatePeer.
+func (n *Net) HealPeer(id types.ReplicaID) error {
+	var firstErr error
+	n.EachLink(func(from, to types.ReplicaID, p *Proxy) {
+		if from == id || to == id {
+			if err := p.Heal(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// PartitionGroups partitions every link crossing between group a and
+// group b, both directions. Links inside a group are untouched.
+func (n *Net) PartitionGroups(a, b []types.ReplicaID) {
+	inA, inB := idSet(a), idSet(b)
+	n.EachLink(func(from, to types.ReplicaID, p *Proxy) {
+		if (inA[from] && inB[to]) || (inB[from] && inA[to]) {
+			p.Partition()
+		}
+	})
+}
+
+// HealAll clears every standing fault on every link.
+func (n *Net) HealAll() error {
+	var firstErr error
+	n.EachLink(func(_, _ types.ReplicaID, p *Proxy) {
+		if err := p.ClearFaults(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// Close tears the mesh down.
+func (n *Net) Close() {
+	n.EachLink(func(_, _ types.ReplicaID, p *Proxy) { p.Close() })
+}
+
+func idSet(ids []types.ReplicaID) map[types.ReplicaID]bool {
+	out := make(map[types.ReplicaID]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/zeroloss/zlb/internal/simnet"
+	"github.com/zeroloss/zlb/internal/types"
+)
+
+// PeerState is a peer's connection health as seen by this node's writer.
+type PeerState int32
+
+// Peer health states. A peer is idle until the first send targets it,
+// connected while its connection accepts writes, backoff while the
+// writer waits out a failure, and suspect once failures run
+// consecutive past Config.SuspectAfter — the operator-facing "this
+// peer looks dead" signal. Any successful write returns it to
+// connected.
+const (
+	StateIdle PeerState = iota
+	StateConnected
+	StateBackoff
+	StateSuspect
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateConnected:
+		return "connected"
+	case StateBackoff:
+		return "backoff"
+	case StateSuspect:
+		return "suspect"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the state as its name, for /status.
+func (s PeerState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a state name back (status consumers, tests).
+func (s *PeerState) UnmarshalJSON(b []byte) error {
+	name := strings.Trim(string(b), `"`)
+	for _, st := range []PeerState{StateIdle, StateConnected, StateBackoff, StateSuspect} {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("transport: unknown peer state %q", name)
+}
+
+// PeerHealth is a point-in-time snapshot of one peer's send path.
+type PeerHealth struct {
+	ID                  types.ReplicaID `json:"id"`
+	State               PeerState       `json:"state"`
+	ConsecutiveFailures int64           `json:"consecutive_failures"`
+	// LastSuccessAgo is the time since the last successful write to
+	// this peer; negative when no write has ever succeeded.
+	LastSuccessAgo time.Duration `json:"last_success_ago_ns"`
+	SentMsgs       uint64        `json:"sent_msgs"`
+	SentBytes      uint64        `json:"sent_bytes"`
+	Drops          uint64        `json:"drops"`
+	Reconnects     uint64        `json:"reconnects"`
+	QueueLen       int           `json:"queue_len"`
+	QueueCap       int           `json:"queue_cap"`
+}
+
+// PeerHealth snapshots every configured peer (self excluded), sorted by
+// ID. Peers no send has targeted yet report as idle with zero counters.
+func (n *Node) PeerHealth() []PeerHealth {
+	ids := make([]types.ReplicaID, 0, len(n.cfg.Peers))
+	for id := range n.cfg.Peers {
+		if id != n.cfg.Self {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]PeerHealth, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, n.PeerHealthFor(id))
+	}
+	return out
+}
+
+// PeerHealthFor snapshots one peer's health. Unknown or never-contacted
+// IDs report idle.
+func (n *Node) PeerHealthFor(id types.ReplicaID) PeerHealth {
+	n.mu.Lock()
+	p := n.peers[id]
+	n.mu.Unlock()
+	if p == nil {
+		return PeerHealth{ID: id, State: StateIdle, LastSuccessAgo: -1, QueueCap: n.cfg.SendQueueSize}
+	}
+	return p.health()
+}
+
+// peer is one remote replica's send path: a bounded queue drained by a
+// dedicated writer goroutine that owns the connection lifecycle. All
+// health fields are atomics — updated by the writer and the enqueuers,
+// read by metrics scrapes — so no snapshot ever takes the node lock on
+// the hot path.
+type peer struct {
+	node *Node
+	id   types.ReplicaID
+	addr string
+
+	q chan simnet.Message
+
+	// connMu guards conn only for the benefit of Node.Close, which
+	// snaps the live connection to unblock a writer mid-write; the
+	// writer goroutine is the only other toucher.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	state       atomic.Int32
+	consecFails atomic.Int64
+	lastSuccess atomic.Int64 // wall nanos of the last successful write; 0 = never
+	sentMsgs    atomic.Uint64
+	sentBytes   atomic.Uint64
+	drops       atomic.Uint64
+	reconnects  atomic.Uint64
+	dials       atomic.Uint64
+
+	rng rngSource // jitter; only the writer goroutine draws from it
+}
+
+// rngSource wraps a rand.Rand with a mutex: jitter is drawn by the
+// writer, but tryEnqueue callers never touch it, so this is belt and
+// braces for future use rather than contention.
+type rngSource struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (r *rngSource) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return d/2 + time.Duration(r.r.Int63n(int64(d/2)+1))
+}
+
+func newPeer(n *Node, id types.ReplicaID, addr string) *peer {
+	return &peer{
+		node: n,
+		id:   id,
+		addr: addr,
+		q:    make(chan simnet.Message, n.cfg.SendQueueSize),
+		rng:  rngSource{r: rand.New(rand.NewSource(int64(n.cfg.Self)*104729 + int64(id)*31 + 13))},
+	}
+}
+
+// health snapshots the peer's counters.
+func (p *peer) health() PeerHealth {
+	ago := time.Duration(-1)
+	if last := p.lastSuccess.Load(); last > 0 {
+		ago = time.Since(time.Unix(0, last))
+	}
+	return PeerHealth{
+		ID:                  p.id,
+		State:               PeerState(p.state.Load()),
+		ConsecutiveFailures: p.consecFails.Load(),
+		LastSuccessAgo:      ago,
+		SentMsgs:            p.sentMsgs.Load(),
+		SentBytes:           p.sentBytes.Load(),
+		Drops:               p.drops.Load(),
+		Reconnects:          p.reconnects.Load(),
+		QueueLen:            len(p.q),
+		QueueCap:            cap(p.q),
+	}
+}
+
+// enqueue adds msg to the peer's queue, displacing the oldest queued
+// frame when full (drop-oldest: under overload the freshest consensus
+// state survives, and quorum protocols recover whatever is lost).
+func (p *peer) enqueue(msg simnet.Message) {
+	for {
+		select {
+		case p.q <- msg:
+			return
+		default:
+		}
+		select {
+		case <-p.q:
+			p.countDrop()
+		default:
+			// Lost the displacement race to the writer draining the
+			// queue; the next iteration's send will almost surely fit.
+		}
+	}
+}
+
+// tryEnqueue adds msg or fails fast with ErrBackpressure, displacing
+// nothing.
+func (p *peer) tryEnqueue(msg simnet.Message) error {
+	select {
+	case p.q <- msg:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+func (p *peer) countDrop() {
+	p.drops.Add(1)
+	p.node.sendDrops.Add(1)
+	if p.node.warnDrop.allow(time.Second) {
+		p.node.cfg.Logger.Warnf("transport: send queue to replica %v full, dropped %d frames to it so far",
+			p.id, p.drops.Load())
+	}
+}
+
+// writeLoop drains the queue for the writer's lifetime, owning the
+// connection: dial with jittered exponential backoff, write each frame
+// under a deadline, reconnect and retry on failure. Dial failures cost
+// backoff only — a frame is never dropped because the peer is
+// unreachable, so traffic queued across a partition flushes on heal —
+// while writes that fail on an established connection consume the
+// frame's Config.SendAttempts budget before it is dropped.
+func (p *peer) writeLoop() {
+	defer p.node.wg.Done()
+	defer p.closeConn()
+	var enc *gob.Encoder
+	var counter *countingWriter
+	backoff := p.node.cfg.SendBackoff
+	for {
+		var msg simnet.Message
+		select {
+		case <-p.node.stopIO:
+			return
+		case msg = <-p.q:
+		}
+		writeFails := 0
+		for {
+			if p.currentConn() == nil {
+				conn := p.connect(&backoff)
+				if conn == nil {
+					return // shutdown
+				}
+				counter = &countingWriter{w: conn}
+				enc = gob.NewEncoder(counter)
+			}
+			if p.write(enc, counter, msg) {
+				backoff = p.node.cfg.SendBackoff
+				break
+			}
+			enc, counter = nil, nil
+			writeFails++
+			if writeFails >= p.node.cfg.SendAttempts {
+				p.countDrop()
+				break
+			}
+			if !p.sleep(&backoff) {
+				return // shutdown
+			}
+		}
+	}
+}
+
+// connect dials until it succeeds or the node shuts down, sleeping the
+// jittered backoff between attempts and escalating the health state to
+// backoff then suspect.
+func (p *peer) connect(backoff *time.Duration) net.Conn {
+	for {
+		select {
+		case <-p.node.stopIO:
+			return nil
+		default:
+		}
+		p.dials.Add(1)
+		conn, err := net.DialTimeout("tcp", p.addr, p.node.cfg.DialBackoff)
+		if err == nil {
+			p.setConn(conn)
+			if p.dials.Load() > 1 {
+				p.reconnects.Add(1)
+			}
+			p.state.Store(int32(StateConnected))
+			return conn
+		}
+		p.fail()
+		if !p.sleep(backoff) {
+			return nil
+		}
+	}
+}
+
+// write sends one frame under the write deadline. On failure the
+// connection is closed and failure counters advance.
+func (p *peer) write(enc *gob.Encoder, counter *countingWriter, msg simnet.Message) bool {
+	conn := p.currentConn()
+	if conn == nil {
+		return false
+	}
+	if wt := p.node.cfg.WriteTimeout; wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	before := counter.n
+	if err := enc.Encode(envelope{From: p.node.cfg.Self, Msg: msg}); err != nil {
+		p.closeConn()
+		p.fail()
+		return false
+	}
+	conn.SetWriteDeadline(time.Time{})
+	p.sentMsgs.Add(1)
+	p.sentBytes.Add(counter.n - before)
+	p.node.Sent.Add(1)
+	p.consecFails.Store(0)
+	p.lastSuccess.Store(time.Now().UnixNano())
+	p.state.Store(int32(StateConnected))
+	return true
+}
+
+// fail records one dial or write failure and degrades the health state.
+func (p *peer) fail() {
+	fails := p.consecFails.Add(1)
+	if fails >= int64(p.node.cfg.SuspectAfter) {
+		p.state.Store(int32(StateSuspect))
+	} else {
+		p.state.Store(int32(StateBackoff))
+	}
+}
+
+// sleep waits out the jittered backoff (doubling it, capped at
+// DialBackoff) unless shutdown interrupts; it reports false on shutdown.
+func (p *peer) sleep(backoff *time.Duration) bool {
+	d := p.rng.jitter(*backoff)
+	if *backoff *= 2; *backoff > p.node.cfg.DialBackoff {
+		*backoff = p.node.cfg.DialBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.node.stopIO:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (p *peer) currentConn() net.Conn {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.conn
+}
+
+func (p *peer) setConn(conn net.Conn) {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	p.conn = conn
+}
+
+// closeConn closes and clears the live connection; called by the writer
+// on write failure and by Node.Close to unblock a writer mid-write.
+func (p *peer) closeConn() {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// countingWriter counts bytes flowing to the connection, feeding the
+// per-peer sent-bytes health counter.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += uint64(n)
+	return n, err
+}
+
+// rateLimiter allows one event per interval, CAS-guarded so concurrent
+// callers never double-log.
+type rateLimiter struct {
+	last atomic.Int64
+}
+
+func (r *rateLimiter) allow(every time.Duration) bool {
+	now := time.Now().UnixNano()
+	last := r.last.Load()
+	return now-last >= int64(every) && r.last.CompareAndSwap(last, now)
+}

@@ -1,10 +1,23 @@
 // Package transport runs an event-driven replica (any simnet.Handler,
 // e.g. an asmr.Replica) over real TCP instead of the simulator: the same
 // protocol state machines, driven by a single event loop per node, with
-// length-prefixed gob frames between peers. Connections are lazily dialed
-// and redialed with backoff; message authenticity is end-to-end (every
-// accountable statement is signed), so the transport only provides
-// framing and ordering, exactly like the paper's raw TCP replica links.
+// length-prefixed gob frames between peers. Message authenticity is
+// end-to-end (every accountable statement is signed), so the transport
+// only provides framing and ordering, exactly like the paper's raw TCP
+// replica links.
+//
+// Delivery is asynchronous: Send is a non-blocking enqueue onto a
+// bounded per-peer queue drained by a dedicated writer goroutine that
+// owns that peer's connection lifecycle — dial, jittered exponential
+// backoff, redial, per-frame write deadlines. A dead or slow peer
+// therefore never stalls the event loop or delays sends to healthy
+// peers; its queue fills and overflows by dropping the oldest frame
+// (quorum protocols recover via retransmitted decisions and catch-up),
+// while client submits that hit a full event queue are refused with a
+// typed backpressure error instead of being silently lost. Per-peer
+// health (state, consecutive failures, drops, reconnects) is tracked in
+// lock-free counters and exported through PeerHealth for the node's
+// /metrics and /status surfaces. See README.md for the architecture.
 //
 // Framing deliberately still uses encoding/gob while the consensus
 // payload internals (transaction batches, PoF sets, replica lists)
@@ -25,12 +38,14 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/zeroloss/zlb/internal/accountability"
 	"github.com/zeroloss/zlb/internal/asmr"
 	"github.com/zeroloss/zlb/internal/bincon"
 	"github.com/zeroloss/zlb/internal/membership"
+	"github.com/zeroloss/zlb/internal/obs"
 	"github.com/zeroloss/zlb/internal/rbc"
 	"github.com/zeroloss/zlb/internal/sbc"
 	"github.com/zeroloss/zlb/internal/simnet"
@@ -63,6 +78,7 @@ func RegisterWireTypes() {
 	gob.Register(&accountability.Certificate{})
 	gob.Register(&utxo.Transaction{})
 	gob.Register(&SubmitTx{})
+	gob.Register(&SubmitAck{})
 	gob.Register(&SyncFrame{})
 }
 
@@ -76,6 +92,17 @@ type envelope struct {
 // replica's mempool.
 type SubmitTx struct {
 	Tx *utxo.Transaction
+}
+
+// SubmitAck is the node's reply to a SubmitTx on the same connection:
+// OK means the submit was handed to the replica's event loop (admission
+// may still reject it later), !OK with Err set means it was refused at
+// the transport edge — today always backpressure on an overloaded event
+// queue. Wallets that care read the ack; fire-and-forget clients may
+// ignore it.
+type SubmitAck struct {
+	OK  bool
+	Err string
 }
 
 // SyncFrame carries a durable-store catch-up payload between nodes: a
@@ -106,23 +133,34 @@ type Config struct {
 	// Peers maps every replica ID to its dialable address.
 	Peers map[types.ReplicaID]string
 	// DialBackoff bounds reconnect pacing: it is both the dial timeout of
-	// a single connection attempt and the cap on the retry backoff
-	// schedule (default 500 ms).
+	// a single connection attempt and the cap on the writer's retry
+	// backoff schedule (default 500 ms).
 	DialBackoff time.Duration
-	// SendAttempts bounds how many delivery attempts one Send makes
-	// before dropping the message (default 3). Each failed attempt drops
-	// the cached connection and redials after a jittered backoff.
+	// SendAttempts bounds how many times the writer re-writes one frame
+	// across reconnects before dropping it (default 3). Dial failures do
+	// not consume the budget — an unreachable peer costs backoff, not
+	// frames — only writes that fail on an established connection do.
 	SendAttempts int
-	// SendBackoff is the initial backoff between send attempts (default
-	// 20 ms). It doubles per retry, capped at DialBackoff, with full
-	// jitter so restarting peers are not hammered in lockstep.
+	// SendBackoff is the initial backoff between the writer's connection
+	// attempts (default 20 ms). It doubles per retry, capped at
+	// DialBackoff, with full jitter so restarting peers are not hammered
+	// in lockstep.
 	SendBackoff time.Duration
-	// WriteTimeout is the per-attempt write deadline (default 2 s): a
-	// peer that accepted the connection but stopped reading fails the
-	// attempt instead of wedging the event loop forever.
+	// WriteTimeout is the per-frame write deadline (default 2 s): a peer
+	// that accepted the connection but stopped reading fails the frame
+	// instead of wedging the writer forever.
 	WriteTimeout time.Duration
 	// QueueSize bounds the event queue (default 65536).
 	QueueSize int
+	// SendQueueSize bounds each peer's outbound queue (default 4096).
+	// On overflow the oldest queued frame is dropped.
+	SendQueueSize int
+	// SuspectAfter is the consecutive-failure count at which a peer's
+	// health state degrades from backoff to suspect (default 3).
+	SuspectAfter int
+	// Logger receives rate-limited transport warnings (drops, decode
+	// errors, backpressure). Nil drops them.
+	Logger *obs.Logger
 }
 
 // Node hosts one event-driven replica over TCP. It implements simnet.Env,
@@ -133,8 +171,15 @@ type Node struct {
 	events  chan event
 	start   time.Time
 
+	// stopIO wakes writer goroutines out of backoff sleeps and queue
+	// waits; stopLoop tells the event loop to drain and exit. Two
+	// channels because shutdown is staged: I/O first, loop drain last,
+	// so every frame a readLoop enqueued before dying is still handled.
+	stopIO   chan struct{}
+	stopLoop chan struct{}
+
 	mu      sync.Mutex
-	conns   map[types.ReplicaID]*peerConn
+	peers   map[types.ReplicaID]*peer
 	inbound map[net.Conn]struct{}
 	closed  bool
 
@@ -147,20 +192,29 @@ type Node struct {
 
 	rng *rand.Rand
 
-	// jmu guards jrng: backoff jitter is drawn from Send, which unlike
-	// Rand may run on several goroutines (event loop, clients, tests).
-	jmu  sync.Mutex
-	jrng *rand.Rand
+	// Stats. Sent counts frames actually written to a peer connection
+	// (incremented by writer goroutines); Received counts events the
+	// loop handled. Both are read concurrently by metrics scrapes.
+	Sent     atomic.Int64
+	Received atomic.Int64
 
-	// Stats
-	Sent     int64
-	Received int64
+	eventsDropped atomic.Uint64 // inbound/self events lost to a full event queue
+	decodeErrors  atomic.Uint64 // frames a readLoop failed to decode mid-stream
+	sendDrops     atomic.Uint64 // outbound frames dropped across all peer queues
+	submitBackoff atomic.Uint64 // client submits refused with ErrBackpressure
+
+	warnDrop   rateLimiter
+	warnDecode rateLimiter
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// Stats is a point-in-time snapshot of the node's transport counters.
+type Stats struct {
+	Sent               int64
+	Received           int64
+	EventsDropped      uint64
+	DecodeErrors       uint64
+	SendDrops          uint64
+	SubmitBackpressure uint64
 }
 
 var _ simnet.Env = (*Node)(nil)
@@ -170,6 +224,13 @@ var ErrClosed = errors.New("transport: node closed")
 
 // ErrUnknownPeer marks sends to replica IDs absent from Config.Peers.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrBackpressure is the typed overload verdict: the queue that would
+// carry the message is full and the caller asked to fail fast rather
+// than displace queued traffic. Client submits hitting a saturated
+// event queue receive it (as a SubmitAck on the wire); TrySend returns
+// it for a full peer queue.
+var ErrBackpressure = errors.New("transport: backpressure, queue full")
 
 // NewNode creates the node; call SetHandler then Serve.
 func NewNode(cfg Config) *Node {
@@ -188,15 +249,22 @@ func NewNode(cfg Config) *Node {
 	if cfg.QueueSize == 0 {
 		cfg.QueueSize = 1 << 16
 	}
+	if cfg.SendQueueSize == 0 {
+		cfg.SendQueueSize = 4096
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = 3
+	}
 	return &Node{
-		cfg:     cfg,
-		events:  make(chan event, cfg.QueueSize),
-		start:   time.Now(),
-		conns:   make(map[types.ReplicaID]*peerConn),
-		inbound: make(map[net.Conn]struct{}),
-		timers:  make(map[simnet.TimerID]*time.Timer),
-		rng:     rand.New(rand.NewSource(int64(cfg.Self) * 7919)),
-		jrng:    rand.New(rand.NewSource(int64(cfg.Self)*104729 + 13)),
+		cfg:      cfg,
+		events:   make(chan event, cfg.QueueSize),
+		start:    time.Now(),
+		stopIO:   make(chan struct{}),
+		stopLoop: make(chan struct{}),
+		peers:    make(map[types.ReplicaID]*peer),
+		inbound:  make(map[net.Conn]struct{}),
+		timers:   make(map[simnet.TimerID]*time.Timer),
+		rng:      rand.New(rand.NewSource(int64(cfg.Self) * 7919)),
 	}
 }
 
@@ -212,69 +280,79 @@ func (n *Node) Now() time.Duration { return time.Since(n.start) }
 // Rand implements simnet.Env.
 func (n *Node) Rand() *rand.Rand { return n.rng }
 
-// Send implements simnet.Env: enqueue for the peer, dialing lazily. Self
-// sends loop back through the event queue. Failed attempts — dead cached
-// connections and failed dials alike — are retried up to
-// Config.SendAttempts times with exponential backoff and full jitter,
-// each attempt under its own write deadline: a peer that crashed and
-// restarted leaves half-dead connections behind and a brief listener
-// gap, and the first write (or dial) is how we find out. Without the
-// retries, one-shot responses (catch-up, store sync) to a restarting
-// peer are silently lost. After the attempt budget the message is
-// dropped; the protocols tolerate loss via quorums.
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Sent:               n.Sent.Load(),
+		Received:           n.Received.Load(),
+		EventsDropped:      n.eventsDropped.Load(),
+		DecodeErrors:       n.decodeErrors.Load(),
+		SendDrops:          n.sendDrops.Load(),
+		SubmitBackpressure: n.submitBackoff.Load(),
+	}
+}
+
+// Send implements simnet.Env: a non-blocking enqueue onto the peer's
+// outbound queue (self sends loop back through the event queue). The
+// peer's writer goroutine owns delivery — dialing, backoff, redial and
+// write deadlines — so Send never sleeps and never blocks the caller,
+// whatever state the peer is in. A full peer queue drops the oldest
+// queued frame to make room: protocol traffic tolerates loss via
+// quorums and catch-up, and displacing the oldest frame preserves the
+// freshest consensus state. Sends to unknown peers or after Close are
+// dropped.
 func (n *Node) Send(to types.ReplicaID, msg simnet.Message) {
 	if to == n.cfg.Self {
 		n.enqueue(event{kind: 1, from: to, msg: msg})
 		return
 	}
-	backoff := n.cfg.SendBackoff
-	for attempt := 0; ; attempt++ {
-		ok, retry := n.trySend(to, msg)
-		if ok {
-			n.Sent++
-			return
-		}
-		if !retry || attempt+1 >= n.cfg.SendAttempts {
-			return
-		}
-		n.jmu.Lock()
-		jittered := backoff/2 + time.Duration(n.jrng.Int63n(int64(backoff/2)+1))
-		n.jmu.Unlock()
-		time.Sleep(jittered)
-		if backoff *= 2; backoff > n.cfg.DialBackoff {
-			backoff = n.cfg.DialBackoff
-		}
+	p, err := n.peerFor(to)
+	if err != nil {
+		return
 	}
+	p.enqueue(msg)
 }
 
-// trySend makes one delivery attempt. retry reports whether another
-// attempt could help: dial failures and connections that die mid-write
-// are retryable, a closed node or unknown peer is not.
-func (n *Node) trySend(to types.ReplicaID, msg simnet.Message) (ok, retry bool) {
-	pc, err := n.peer(to)
+// TrySend is Send with fail-fast backpressure instead of drop-oldest:
+// a full peer queue returns ErrBackpressure and displaces nothing. For
+// callers that prefer an explicit overload verdict over best-effort
+// delivery (client-facing edges, tests).
+func (n *Node) TrySend(to types.ReplicaID, msg simnet.Message) error {
+	if to == n.cfg.Self {
+		select {
+		case n.events <- event{kind: 1, from: to, msg: msg}:
+			return nil
+		default:
+			return ErrBackpressure
+		}
+	}
+	p, err := n.peerFor(to)
 	if err != nil {
-		return false, !errors.Is(err, ErrClosed) && !errors.Is(err, ErrUnknownPeer)
+		return err
 	}
-	pc.mu.Lock()
-	if pc.enc == nil {
-		// Lost a race with a concurrent failed send; redial fresh.
-		pc.mu.Unlock()
-		return false, true
+	return p.tryEnqueue(msg)
+}
+
+// peerFor returns (creating and starting its writer if necessary) the
+// peer record for a replica ID.
+func (n *Node) peerFor(to types.ReplicaID) (*peer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
 	}
-	if n.cfg.WriteTimeout > 0 {
-		pc.conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	if p, ok := n.peers[to]; ok {
+		return p, nil
 	}
-	err = pc.enc.Encode(envelope{From: n.cfg.Self, Msg: msg})
-	if err != nil {
-		pc.conn.Close()
-		pc.enc = nil
-		pc.mu.Unlock()
-		n.dropPeer(to)
-		return false, true
+	addr, ok := n.cfg.Peers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
-	pc.conn.SetWriteDeadline(time.Time{})
-	pc.mu.Unlock()
-	return true, false
+	p := newPeer(n, to, addr)
+	n.peers[to] = p
+	n.wg.Add(1)
+	go p.writeLoop()
+	return p, nil
 }
 
 // SetTimer implements simnet.Env with a real timer feeding the loop.
@@ -289,7 +367,7 @@ func (n *Node) SetTimer(d time.Duration, payload any) simnet.TimerID {
 		delete(n.timers, id)
 		n.timerMu.Unlock()
 		if live {
-			n.enqueue(event{kind: 2, payload: payload})
+			n.enqueueSticky(event{kind: 2, payload: payload})
 		}
 	})
 	return id
@@ -307,14 +385,30 @@ func (n *Node) CancelTimer(id simnet.TimerID) {
 
 // Do runs fn on the event loop — the only safe way to touch the handler's
 // state from outside (e.g., submitting to a mempool).
-func (n *Node) Do(fn func()) { n.enqueue(event{kind: 3, fn: fn}) }
+func (n *Node) Do(fn func()) { n.enqueueSticky(event{kind: 3, fn: fn}) }
 
+// enqueue is the lossy path for message events: the event loop itself
+// feeds it (self sends), so it must never block — a full queue drops
+// the event and counts it.
 func (n *Node) enqueue(ev event) {
 	select {
 	case n.events <- ev:
 	default:
-		// Queue full: drop; quorum protocols recover via retransmitted
-		// decisions and catch-up.
+		n.eventsDropped.Add(1)
+		if n.warnDrop.allow(time.Second) {
+			n.cfg.Logger.Warnf("transport: event queue full, dropped %d events so far", n.eventsDropped.Load())
+		}
+	}
+}
+
+// enqueueSticky is the lossless path for timers and closures: those
+// events carry obligations (a Do caller is waiting, a protocol timeout
+// must fire), so they wait for queue space instead of being dropped —
+// bounded by shutdown, which releases them.
+func (n *Node) enqueueSticky(ev event) {
+	select {
+	case n.events <- ev:
+	case <-n.stopLoop:
 	}
 }
 
@@ -363,80 +457,101 @@ func (n *Node) Serve() error {
 		}
 	}()
 
-	// Event loop: serializes all handler invocations; a stop sentinel
-	// (kind 0) ends it.
-	for ev := range n.events {
-		switch ev.kind {
-		case 0:
-			return nil
-		case 1:
-			n.Received++
-			n.handler.OnMessage(ev.from, ev.msg)
-		case 2:
-			n.handler.OnTimer(ev.payload)
-		case 3:
-			ev.fn()
+	// Event loop: serializes all handler invocations. Close trips
+	// stopLoop only after every reader and writer has exited, so the
+	// drain below sees the complete backlog and nothing new.
+	for {
+		select {
+		case ev := <-n.events:
+			n.dispatch(ev)
+		case <-n.stopLoop:
+			for {
+				select {
+				case ev := <-n.events:
+					n.dispatch(ev)
+				default:
+					return nil
+				}
+			}
 		}
 	}
-	return nil
 }
 
-// readLoop decodes frames from one inbound connection.
+func (n *Node) dispatch(ev event) {
+	switch ev.kind {
+	case 1:
+		n.Received.Add(1)
+		n.handler.OnMessage(ev.from, ev.msg)
+	case 2:
+		n.handler.OnTimer(ev.payload)
+	case 3:
+		ev.fn()
+	}
+}
+
+// readLoop decodes frames from one inbound connection. Client submits
+// (SubmitTx) are acked on the same connection: accepted ones with an OK
+// ack, ones that hit a full event queue with a backpressure ack — the
+// typed overload signal wallets see instead of silent loss. Protocol
+// frames are never acked.
 func (n *Node) readLoop(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
+	var enc *gob.Encoder // lazily created for submit acks
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// transient decode failure: drop the connection; the peer
-				// redials.
+			if !isConnClosed(err) {
+				// A frame this node could not decode: count it and drop
+				// the connection; the peer redials with a fresh stream.
+				n.decodeErrors.Add(1)
+				if n.warnDecode.allow(time.Second) {
+					n.cfg.Logger.Warnf("transport: decode error from %s (%d total): %v",
+						conn.RemoteAddr(), n.decodeErrors.Load(), err)
+				}
 			}
 			return
+		}
+		if _, isSubmit := env.Msg.(*SubmitTx); isSubmit {
+			ack := SubmitAck{OK: true}
+			select {
+			case n.events <- event{kind: 1, from: env.From, msg: env.Msg}:
+			default:
+				n.submitBackoff.Add(1)
+				ack = SubmitAck{OK: false, Err: ErrBackpressure.Error()}
+			}
+			if enc == nil {
+				enc = gob.NewEncoder(conn)
+			}
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+			if err := enc.Encode(envelope{From: n.cfg.Self, Msg: &ack}); err != nil {
+				return
+			}
+			conn.SetWriteDeadline(time.Time{})
+			continue
 		}
 		n.enqueue(event{kind: 1, from: env.From, msg: env.Msg})
 	}
 }
 
-// peer returns (dialing if necessary) the outbound connection to a peer.
-func (n *Node) peer(to types.ReplicaID) (*peerConn, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, ErrClosed
+// isConnClosed reports whether a decode error is a connection ending
+// (orderly close, reset, shutdown) rather than a stream this node
+// failed to parse. Only the latter counts as a decode error.
+func isConnClosed(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
 	}
-	if pc, ok := n.conns[to]; ok && pc.enc != nil {
-		n.mu.Unlock()
-		return pc, nil
-	}
-	addr, ok := n.cfg.Peers[to]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
-	}
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialBackoff)
-	if err != nil {
-		return nil, err
-	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		conn.Close()
-		return nil, ErrClosed
-	}
-	n.conns[to] = pc
-	n.mu.Unlock()
-	return pc, nil
+	var netErr net.Error
+	return errors.As(err, &netErr) // resets, timeouts, other socket-level failures
 }
 
-func (n *Node) dropPeer(to types.ReplicaID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.conns, to)
-}
-
-// Close stops the node: listener, connections, event loop.
+// Close stops the node: listener, connections, writers, then the event
+// loop. Shutdown is staged — I/O goroutines are stopped and awaited
+// first, the loop drains its remaining backlog last — so everything a
+// reader enqueued before dying is still handled (queued commits persist
+// through a graceful shutdown), and Close never blocks on a full event
+// queue: the loop is told to stop via stopLoop, not via a sentinel that
+// would need queue space.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -444,22 +559,17 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	close(n.stopIO)
 	if n.listener != nil {
 		n.listener.Close()
 	}
-	for _, pc := range n.conns {
-		pc.mu.Lock()
-		if pc.conn != nil {
-			pc.conn.Close()
-		}
-		pc.mu.Unlock()
+	for _, p := range n.peers {
+		p.closeConn()
 	}
 	for conn := range n.inbound {
 		conn.Close()
 	}
 	n.mu.Unlock()
 	n.wg.Wait()
-	// Stop the event loop; the channel stays open so late timers cannot
-	// panic on send.
-	n.events <- event{kind: 0}
+	close(n.stopLoop)
 }

@@ -35,6 +35,8 @@ var readmeRequired = []string{
 	"internal/mempool",
 	"internal/load",
 	"internal/obs",
+	"internal/transport",
+	"internal/chaos",
 }
 
 func main() {
